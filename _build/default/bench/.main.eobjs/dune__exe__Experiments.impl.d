@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Btr Btr_baselines Btr_fault Btr_net Btr_planner Btr_plant Btr_sched Btr_sim Btr_util Btr_workload Float Format List Option Printf Stats String Table Time

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Btr Btr_crypto Btr_net Btr_planner Btr_sim Btr_util Btr_workload Hashtbl Instance Lazy List Measure Printf Staged String Test Toolkit

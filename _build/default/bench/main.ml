@@ -1,0 +1,36 @@
+(* Benchmark harness: regenerates every experiment table (E1-E9, see
+   DESIGN.md section 3 and EXPERIMENTS.md) and, with --micro, runs the
+   Bechamel microbenchmarks.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe e2 e3      # selected experiments
+     dune exec bench/main.exe -- --micro # microbenchmarks only  *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro = List.mem "--micro" args in
+  let wanted = List.filter (fun a -> a <> "--micro") args in
+  if micro then begin
+    print_endline "== microbenchmarks ==";
+    Micro.run ()
+  end;
+  let selected =
+    match wanted with
+    | [] -> if micro then [] else Experiments.all
+    | names ->
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt (String.lowercase_ascii n) Experiments.all with
+          | Some fn -> Some (n, fn)
+          | None ->
+            Printf.eprintf "unknown experiment %S (have: %s)\n" n
+              (String.concat ", " (List.map fst Experiments.all));
+            None)
+        names
+  in
+  List.iter
+    (fun (name, fn) ->
+      Printf.printf "running %s...\n%!" name;
+      fn ())
+    selected

@@ -1,0 +1,183 @@
+(* btr — command-line front end for the BTR library.
+
+   Examples:
+     btr plan --workload avionics --nodes 6 -f 1 -r 200
+     btr run  --workload scada --nodes 5 -f 1 -r 300 \
+              --fault corrupt:3:250 --horizon 2000
+     btr workloads *)
+
+open Btr_util
+open Cmdliner
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Generators = Btr_workload.Generators
+module Topology = Btr_net.Topology
+module Planner = Btr_planner.Planner
+module Fault = Btr_fault.Fault
+
+let workload_of_name name ~nodes ~seed =
+  match name with
+  | "avionics" -> Ok (Generators.avionics ~n_nodes:nodes)
+  | "scada" -> Ok (Generators.scada ~n_nodes:nodes)
+  | "random" ->
+    Ok
+      (Generators.random_layered ~rng:(Rng.create seed) ~n_nodes:nodes ~layers:3
+         ~width:3 ())
+  | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+let topology_of_name name ~nodes =
+  match name with
+  | "clique" ->
+    Ok (Topology.fully_connected ~n:nodes ~bandwidth_bps:10_000_000 ~latency:(Time.us 50))
+  | "ring" -> Ok (Topology.ring ~n:nodes ~bandwidth_bps:10_000_000 ~latency:(Time.us 50))
+  | "dual-bus" ->
+    Ok (Topology.dual_bus ~n:nodes ~bandwidth_bps:10_000_000 ~latency:(Time.us 50))
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+(* faults are written class:node:at_ms, e.g. corrupt:3:250 *)
+let parse_fault s =
+  match String.split_on_char ':' s with
+  | [ cls; node; at ] -> (
+    let node = int_of_string_opt node and at = int_of_string_opt at in
+    let behavior =
+      match cls with
+      | "crash" -> Some Fault.Crash
+      | "omit" -> Some Fault.Omit_outputs
+      | "corrupt" -> Some Fault.Corrupt_outputs
+      | "equivocate" -> Some Fault.Equivocate
+      | "delay" -> Some (Fault.Delay_outputs (Time.ms 8))
+      | "babble" -> Some (Fault.Babble { bogus_per_period = 4 })
+      | _ -> None
+    in
+    match behavior, node, at with
+    | Some b, Some node, Some at_ms ->
+      Ok { Fault.at = Time.ms at_ms; node; behavior = b }
+    | _ -> Error (`Msg (Printf.sprintf "bad fault spec %S" s)))
+  | _ ->
+    Error (`Msg (Printf.sprintf "bad fault spec %S (want class:node:at_ms)" s))
+
+let fault_conv = Arg.conv (parse_fault, fun ppf _ -> Format.fprintf ppf "<fault>")
+
+(* Common options *)
+let workload_arg =
+  Arg.(value & opt string "avionics" & info [ "workload"; "w" ] ~doc:"Workload: avionics, scada or random.")
+
+let topology_arg =
+  Arg.(value & opt string "clique" & info [ "topology"; "t" ] ~doc:"Topology: clique, ring or dual-bus.")
+
+let nodes_arg = Arg.(value & opt int 6 & info [ "nodes"; "n" ] ~doc:"Number of nodes.")
+let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault bound.")
+let r_arg = Arg.(value & opt int 200 & info [ "r" ] ~doc:"Recovery bound R in ms.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let build_strategy workload topology nodes f r seed =
+  match workload_of_name workload ~nodes ~seed with
+  | Error m -> Error m
+  | Ok g -> (
+    match topology_of_name topology ~nodes with
+    | Error m -> Error m
+    | Ok topo -> (
+      let cfg = Planner.default_config ~f ~recovery_bound:(Time.ms r) in
+      match Planner.build cfg g topo with
+      | Ok s -> Ok (g, topo, s)
+      | Error e -> Error (Format.asprintf "%a" Planner.pp_error e)))
+
+let plan_cmd =
+  let doc = "Compute and summarize an offline BTR strategy." in
+  let run workload topology nodes f r seed verbose =
+    match build_strategy workload topology nodes f r seed with
+    | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+    | Ok (_, _, s) ->
+      let st = Planner.stats s in
+      Printf.printf
+        "strategy: %d modes, %d transitions, planned in %.1fms\n\
+         worst-case recovery bound: %s (requested R = %dms) -> %s\n"
+        st.Planner.modes st.Planner.transitions
+        (st.Planner.planning_seconds *. 1e3)
+        (Time.to_string st.Planner.worst_recovery)
+        r
+        (if Planner.admitted s then "ADMITTED" else "REJECTED");
+      if verbose then
+        List.iter
+          (fun (p : Planner.plan) ->
+            Format.printf "@.mode {%s}%s:@.%a@."
+              (String.concat "," (List.map string_of_int p.Planner.faulty))
+              (match p.Planner.shed_below with
+              | None -> ""
+              | Some c -> Format.asprintf " (shed below %a)" Task.pp_criticality c)
+              Btr_sched.Schedule.pp p.Planner.schedule)
+          (Planner.all_plans s);
+      0
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every mode's schedule.")
+  in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(
+      const run $ workload_arg $ topology_arg $ nodes_arg $ f_arg $ r_arg
+      $ seed_arg $ verbose)
+
+let run_cmd =
+  let doc = "Deploy a strategy on the simulator and inject faults." in
+  let run workload topology nodes f r seed faults horizon_ms =
+    match build_strategy workload topology nodes f r seed with
+    | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+    | Ok (g, topo, _) -> (
+      let s =
+        Btr.Scenario.spec ~workload:g ~topology:topo ~f
+          ~recovery_bound:(Time.ms r) ~script:faults
+          ~horizon:(Time.ms horizon_ms) ~seed ()
+      in
+      match Btr.Scenario.run s with
+      | Error e ->
+        Format.eprintf "error: %a@." Planner.pp_error e;
+        1
+      | Ok rt ->
+        let m = Btr.Runtime.metrics rt in
+        Format.printf "%a@." Btr.Metrics.pp_summary m;
+        List.iter
+          (fun (t, node, mode) ->
+            Format.printf "t=%a: node %d -> mode {%s}@." Time.pp t node
+              (String.concat "," (List.map string_of_int mode)))
+          (Btr.Runtime.mode_changes rt);
+        List.iteri
+          (fun i rec_t ->
+            Format.printf "fault %d recovery: %a (R = %dms)@." (i + 1) Time.pp
+              rec_t r)
+          (Btr.Metrics.recovery_times m);
+        0)
+  in
+  let faults =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault" ] ~doc:"Fault to inject, as class:node:at_ms (repeatable).")
+  in
+  let horizon =
+    Arg.(value & opt int 1000 & info [ "horizon" ] ~doc:"Simulated run length in ms.")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ workload_arg $ topology_arg $ nodes_arg $ f_arg $ r_arg
+      $ seed_arg $ faults $ horizon)
+
+let workloads_cmd =
+  let doc = "List built-in workloads and show their structure." in
+  let run nodes seed =
+    List.iter
+      (fun name ->
+        match workload_of_name name ~nodes ~seed with
+        | Ok g -> Format.printf "-- %s --@.%a@." name Graph.pp g
+        | Error _ -> ())
+      [ "avionics"; "scada"; "random" ];
+    0
+  in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ nodes_arg $ seed_arg)
+
+let () =
+  let doc = "bounded-time recovery for cyber-physical systems" in
+  let info = Cmd.info "btr" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ plan_cmd; run_cmd; workloads_cmd ]))

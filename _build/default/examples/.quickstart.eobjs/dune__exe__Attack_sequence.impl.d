@@ -1,0 +1,1 @@
+examples/attack_sequence.ml: Btr Btr_fault Btr_net Btr_planner Btr_util Btr_workload Format List String Time

@@ -1,0 +1,1 @@
+examples/avionics.ml: Btr Btr_fault Btr_net Btr_planner Btr_util Btr_workload Format Int List Option String Time

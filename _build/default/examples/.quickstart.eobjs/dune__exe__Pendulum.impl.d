@@ -1,0 +1,1 @@
+examples/pendulum.ml: Array Btr Btr_fault Btr_net Btr_planner Btr_plant Btr_sim Btr_util Btr_workload Float Format Option Printf Time

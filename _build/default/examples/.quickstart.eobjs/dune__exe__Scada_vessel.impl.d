@@ -1,0 +1,1 @@
+examples/scada_vessel.ml: Array Btr Btr_fault Btr_net Btr_planner Btr_plant Btr_sim Btr_util Btr_workload Format Option Printf Time

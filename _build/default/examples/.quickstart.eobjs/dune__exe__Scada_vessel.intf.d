@@ -1,0 +1,1 @@
+examples/scada_vessel.mli:

@@ -1,0 +1,1 @@
+lib/baselines/exec.ml: Array Btr Btr_fault Btr_net Btr_sim Btr_util Btr_workload Hashtbl Int Int64 List Option Rng Stdlib Time

@@ -1,0 +1,1 @@
+lib/baselines/exec.mli: Btr Btr_fault Btr_net Btr_util Btr_workload Time

@@ -1,0 +1,1 @@
+lib/core/behavior.ml: Array Btr_crypto Btr_workload Buffer Float Hashtbl Int Int64 List Printf

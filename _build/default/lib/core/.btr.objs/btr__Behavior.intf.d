@@ -1,0 +1,1 @@
+lib/core/behavior.mli: Btr_workload

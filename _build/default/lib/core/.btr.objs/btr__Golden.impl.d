@@ -1,0 +1,1 @@
+lib/core/golden.ml: Behavior Btr_workload Hashtbl List Option

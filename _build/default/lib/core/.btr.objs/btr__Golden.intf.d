@@ -1,0 +1,1 @@
+lib/core/golden.mli: Behavior Btr_workload

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Behavior Btr_util Btr_workload Format Fun Golden Hashtbl List Option Stdlib String Time

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Btr_util Btr_workload Format Golden Time

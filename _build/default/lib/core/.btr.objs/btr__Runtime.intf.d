@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Behavior Btr_crypto Btr_evidence Btr_fault Btr_net Btr_planner Btr_sim Btr_util Btr_workload Golden Metrics Time

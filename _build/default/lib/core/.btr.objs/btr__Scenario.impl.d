@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Behavior Btr_fault Btr_net Btr_planner Btr_util Btr_workload Fun Runtime Time

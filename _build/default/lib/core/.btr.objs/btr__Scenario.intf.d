@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Behavior Btr_fault Btr_net Btr_planner Btr_util Btr_workload Runtime Time

@@ -1,0 +1,49 @@
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+
+type t = {
+  graph : Graph.t;
+  behaviors : Behavior.table;
+  sources : (Task.id * int, float array) Hashtbl.t;
+  memo : (Task.id * int, float array option) Hashtbl.t;
+}
+
+let create graph behaviors =
+  { graph; behaviors; sources = Hashtbl.create 64; memo = Hashtbl.create 256 }
+
+let note_source t ~task ~period value =
+  if not (Hashtbl.mem t.sources (task, period)) then
+    Hashtbl.replace t.sources (task, period) value
+
+let rec value t ~task ~period =
+  match Hashtbl.find_opt t.memo (task, period) with
+  | Some v -> v
+  | None ->
+    let x = Graph.task t.graph task in
+    let v =
+      match x.Task.kind with
+      | Task.Source -> Hashtbl.find_opt t.sources (task, period)
+      | Task.Sink -> None
+      | Task.Compute ->
+        let inputs =
+          List.filter_map
+            (fun (f : Graph.flow) ->
+              match value t ~task:f.producer ~period with
+              | Some v -> Some { Behavior.orig_flow = f.flow_id; value = v }
+              | None -> None)
+            (Graph.producers_of t.graph task)
+        in
+        Behavior.find t.behaviors task ~period ~inputs
+    in
+    (* Only cache positive results: a [None] may merely mean "queried
+       before the source for this period was recorded", and must not
+       stick once the recording arrives. *)
+    if v <> None then Hashtbl.replace t.memo (task, period) v;
+    v
+
+let digest t ~task ~period =
+  Option.map Behavior.value_digest (value t ~task ~period)
+
+let flow_value t ~flow ~period =
+  let f = Graph.flow t.graph flow in
+  value t ~task:f.producer ~period

@@ -1,0 +1,902 @@
+open Btr_util
+module Engine = Btr_sim.Engine
+module Auth = Btr_crypto.Auth
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Schedule = Btr_sched.Schedule
+module Topology = Btr_net.Topology
+module Net = Btr_net.Net
+module Planner = Btr_planner.Planner
+module Augment = Btr_planner.Augment
+module Evidence = Btr_evidence.Evidence
+module Authlog = Btr_evidence.Authlog
+module Detect = Btr_detect.Detect
+module Modeswitch = Btr_modeswitch.Modeswitch
+module Fault = Btr_fault.Fault
+
+type config = {
+  seed : int;
+  state_wait_boundaries : int;
+  forged_evidence_threshold : int;
+  residual_loss : float;
+      (* per-hop loss probability surviving FEC; the paper assumes ~0 *)
+  omission_strikes : int;
+      (* missing messages per path before the watchdog declares it *)
+}
+
+let default_config =
+  {
+    seed = 1;
+    state_wait_boundaries = 3;
+    forged_evidence_threshold = 3;
+    residual_loss = 0.0;
+    omission_strikes = 1;
+  }
+
+type msg =
+  | Data of { flow : int; period : int; value : float array; digest : int64 }
+  | Nack of { flow : int; period : int }
+      (* "I ran but had no input to compute from": satisfies the
+         consumer's watchdog so that suspicion stays at the first hop
+         where a message actually went missing, instead of cascading
+         down the dataflow and framing starved-but-correct nodes. *)
+  | Ack of { orig_task : Task.id; lane : int; period : int; digest : int64 }
+  | Ev of Evidence.record
+  | State of { task : Task.id }
+
+type entry = { value : float array; digest : int64; arrived : Time.t; from : int }
+
+type node = {
+  id : int;
+  secret : Auth.secret;
+  mutable plan : Planner.plan;
+  mutable pending : Planner.plan option;
+  mutable pending_waited : int;
+  mutable awaiting_state : Task.id list;
+  state_received : (Task.id, unit) Hashtbl.t;
+  inbox : (int * int, entry) Hashtbl.t;
+  acks : (Task.id * int * int, int64 list ref) Hashtbl.t;
+  watchdog : Detect.Watchdog.t;
+  attribution : Detect.Attribution.t;
+  fault_set : Modeswitch.Fault_set.t;
+  dist : Evidence.Distributor.t;
+  invalid_by_src : (int, int) Hashtbl.t;
+  accused_forgers : (int, unit) Hashtbl.t;
+  authlog : Authlog.t;
+  mutable checkpoints : Authlog.checkpoint list;
+  mutable byz : Fault.behavior option;
+  mutable running : bool;
+  mutable plan_since : int;
+      (* first period index executed under the current plan; guards
+         cross-period checks against flow-id collisions across plans *)
+  mutable grace_until : Time.t;
+      (* suppress path declarations right after a mode change, while
+         peers may still be transitioning (the tolerated §4.4 confusion) *)
+}
+
+type t = {
+  config : config;
+  eng : Engine.t;
+  auth : Auth.t;
+  net : msg Net.t;
+  strategy : Planner.t;
+  topo : Topology.t;
+  period_len : Time.t;
+  behaviors : Behavior.table;
+  golden : Golden.t;
+  metrics : Metrics.t;
+  nodes : (int, node) Hashtbl.t;
+  script : Fault.script;
+  actuators :
+    (int, period:int -> value:float array -> at:Time.t -> unit) Hashtbl.t;
+  mutable rev_mode_changes : (Time.t * int * int list) list;
+  mutable total_periods : int;
+  mutable started : bool;
+}
+
+let metrics t = t.metrics
+let golden t = t.golden
+let engine t = t.eng
+let net_stats t = Net.stats t.net
+let strategy t = t.strategy
+
+let node_of t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Runtime: unknown node %d" id)
+
+let node_fault_nodes t id = Modeswitch.Fault_set.nodes (node_of t id).fault_set
+let node_mode t id = (node_of t id).plan.Planner.faulty
+let evidence_seen t id = Evidence.Distributor.seen (node_of t id).dist
+let mode_changes t = List.rev t.rev_mode_changes
+
+let node_log t id =
+  let n = node_of t id in
+  (n.authlog, List.rev n.checkpoints)
+
+let auth t = t.auth
+
+let control_bytes t =
+  List.fold_left
+    (fun acc n -> acc + Net.bytes_sent_by t.net n Net.Control)
+    0
+    (Topology.nodes t.topo)
+
+let on_actuate t ~orig_flow fn = Hashtbl.replace t.actuators orig_flow fn
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                             *)
+
+let create ?(config = default_config) ?(behaviors = []) ?(script = [])
+    ~strategy () =
+  let eng = Engine.create ~seed:config.seed () in
+  let auth = Auth.create () in
+  let topo = Planner.topology strategy in
+  let shares = (Planner.config strategy).Planner.shares in
+  let net = Net.create eng topo ?shares ~residual_loss:config.residual_loss () in
+  let workload = Planner.workload strategy in
+  let table = Behavior.table workload ~overrides:behaviors in
+  let initial = Planner.initial_plan strategy in
+  let f = (Planner.config strategy).Planner.f in
+  (* A tenth of a period on top of the configured margin absorbs
+     per-link queueing that the schedule's queueing-free transfer
+     estimates do not model, so correct-but-contended messages are
+     never declared late. *)
+  let margin =
+    Time.add
+      (Planner.config strategy).Planner.detection_margin
+      (Time.div (Graph.period (Planner.workload strategy)) 10)
+  in
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace nodes id
+        {
+          id;
+          secret = Auth.gen_key auth ~owner:id;
+          plan = initial;
+          pending = None;
+          pending_waited = 0;
+          awaiting_state = [];
+          state_received = Hashtbl.create 8;
+          inbox = Hashtbl.create 256;
+          acks = Hashtbl.create 64;
+          watchdog =
+            Detect.Watchdog.create ~node:id ~margin
+              ~strikes:config.omission_strikes ();
+          attribution = Detect.Attribution.create ~threshold:(f + 1);
+          fault_set = Modeswitch.Fault_set.create ();
+          dist = Evidence.Distributor.create ~node:id;
+          invalid_by_src = Hashtbl.create 4;
+          accused_forgers = Hashtbl.create 4;
+          authlog = Authlog.create ~owner:id;
+          checkpoints = [];
+          byz = None;
+          running = true;
+          plan_since = 0;
+          grace_until = Time.zero;
+        })
+    (Topology.nodes topo);
+  {
+    config;
+    eng;
+    auth;
+    net;
+    strategy;
+    topo;
+    period_len = Graph.period workload;
+    behaviors = table;
+    golden = Golden.create workload table;
+    metrics =
+      (let level = (Planner.config strategy).Planner.protect_level in
+       let protected_flows =
+         List.filter_map
+           (fun (fl : Graph.flow) ->
+             let producer = Graph.task workload fl.producer in
+             if Task.compare_criticality producer.Task.criticality level >= 0
+             then Some fl.flow_id
+             else None)
+           (Graph.sink_flows workload)
+       in
+       Metrics.create ~protected_flows workload);
+    nodes;
+    script;
+    actuators = Hashtbl.create 8;
+    rev_mode_changes = [];
+    total_periods = 0;
+    started = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers on plans                                                     *)
+
+let assignment_node plan tid = Planner.assignment_of plan tid
+
+let flow_in_plan (plan : Planner.plan) fid =
+  match Graph.flow plan.Planner.aug.Augment.graph fid with
+  | f -> Some f
+  | exception Invalid_argument _ -> None
+
+(* The correct nodes' union of attributed faults; routing steers around
+   them once evidence has spread (§4.4: the new plan avoids them). *)
+let refresh_route_avoid t =
+  let avoid = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ n ->
+      if n.byz = None then
+        List.iter
+          (fun x -> Hashtbl.replace avoid x ())
+          (Modeswitch.Fault_set.nodes n.fault_set))
+    t.nodes;
+  Net.set_route_avoid t.net (Hashtbl.fold (fun k () acc -> k :: acc) avoid [])
+
+(* ------------------------------------------------------------------ *)
+(* Evidence pipeline                                                    *)
+
+(* Flood a record to every other node over the reserved control class.
+   Unicast-to-all plus hop-wise re-flooding at receivers implements the
+   validate-endorse-forward scheme of §4.3; [already_sent] bounds it. *)
+let flood_record t (n : node) r =
+  if n.running then
+    List.iter
+      (fun dst ->
+        if dst <> n.id && not (Evidence.Distributor.already_sent n.dist r ~dst)
+        then
+          ignore
+            (Net.send t.net ~src:n.id ~dst ~cls:Net.Control
+               ~size_bytes:(Evidence.size_bytes r) (Ev r)))
+      (Topology.nodes t.topo)
+
+(* Consult the strategy for the plan matching the node's fault set and
+   stage a transition to it (§4.4). State for migrating tasks is
+   requested by the old hosts (they run the same deterministic logic);
+   activation happens at a period boundary. *)
+let maybe_switch_mode t (n : node) =
+  let target_faulty = Modeswitch.Fault_set.nodes n.fault_set in
+  let current_key = n.plan.Planner.faulty in
+  let staged_key =
+    match n.pending with Some p -> p.Planner.faulty | None -> current_key
+  in
+  if target_faulty <> current_key && target_faulty <> staged_key then
+    match Planner.plan_for t.strategy ~faulty:target_faulty with
+    | None -> () (* beyond the f bound: keep the best plan we have *)
+    | Some next ->
+      let actions = Modeswitch.diff ~node:n.id ~from_plan:n.plan ~to_plan:next in
+      let awaiting = ref [] in
+      List.iter
+        (fun action ->
+          match action with
+          | Modeswitch.Stop _ -> () (* implicit: next plan has no slot *)
+          | Modeswitch.Start_fresh _ -> ()
+          | Modeswitch.Start_after_state { task; from_node; bytes = _ } ->
+            if not (Hashtbl.mem n.state_received task) then begin
+              awaiting := task :: !awaiting;
+              ignore from_node
+            end
+          | Modeswitch.Send_state { task; to_node; bytes } ->
+            if n.running then
+              ignore
+                (Net.send t.net ~src:n.id ~dst:to_node ~cls:Net.Control
+                   ~size_bytes:bytes (State { task })))
+        actions;
+      n.pending <- Some next;
+      n.pending_waited <- 0;
+      n.awaiting_state <- !awaiting
+
+(* Apply a fresh, valid statement to the local fault view. Node
+   accusations extend the fault set directly; path declarations feed
+   attribution and only extend it once a node crosses the threshold. *)
+let apply_statement t (n : node) (s : Evidence.statement) =
+  if Detect.path_statement_admissible s then begin
+    let changed = ref false in
+    (match s.accused with
+    | Evidence.Node x ->
+      if Modeswitch.Fault_set.add_node n.fault_set x then changed := true
+    | Evidence.Path (a, b) ->
+      ignore (Modeswitch.Fault_set.add_path n.fault_set (a, b));
+      List.iter
+        (fun x ->
+          if Modeswitch.Fault_set.add_node n.fault_set x then changed := true)
+        (Detect.Attribution.note_path n.attribution ~a ~b));
+    if !changed then begin
+      refresh_route_avoid t;
+      maybe_switch_mode t n
+    end
+  end
+
+(* A node emitting its own evidence: sign (paying the signing cost),
+   apply locally, flood. *)
+let emit_evidence t (n : node) (s : Evidence.statement) =
+  if n.running then begin
+    let r = Evidence.sign t.auth n.secret s in
+    ignore
+      (Engine.schedule_in t.eng ~delay:(Auth.sign_cost t.auth) (fun _ ->
+           match Evidence.Distributor.admit n.dist t.auth r with
+           | Evidence.Distributor.Fresh ->
+             apply_statement t n s;
+             flood_record t n r
+           | Evidence.Distributor.Duplicate | Evidence.Distributor.Invalid -> ()))
+  end
+
+let statement t (n : node) ~accused ~fault_class ~period ~detail =
+  {
+    Evidence.accused;
+    fault_class;
+    detector = n.id;
+    period;
+    detected_at = Engine.now t.eng;
+    detail;
+  }
+
+(* Received evidence: validate (paying the verification cost), then
+   apply and endorse-forward if fresh. Invalid records are counted
+   against the network-level sender (the MAC identifies it), and a
+   persistent forger is itself accused — §4.3's defense against
+   bogus-evidence floods. *)
+let receive_evidence t (n : node) ~src r =
+  match Evidence.Distributor.admit n.dist t.auth r with
+  | Evidence.Distributor.Fresh ->
+    apply_statement t n r.Evidence.statement;
+    flood_record t n r
+  | Evidence.Distributor.Duplicate -> ()
+  | Evidence.Distributor.Invalid ->
+    let count =
+      1 + Option.value ~default:0 (Hashtbl.find_opt n.invalid_by_src src)
+    in
+    Hashtbl.replace n.invalid_by_src src count;
+    if
+      count >= t.config.forged_evidence_threshold
+      && not (Hashtbl.mem n.accused_forgers src)
+    then begin
+      Hashtbl.replace n.accused_forgers src ();
+      emit_evidence t n
+        (statement t n ~accused:(Evidence.Node src)
+           ~fault_class:Evidence.Forged_evidence
+           ~period:(Engine.now t.eng / t.period_len)
+           ~detail:(Printf.sprintf "%d invalid records" count))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Task execution                                                       *)
+
+let mutate_value v = Array.map (fun x -> x +. 1009.0) v
+
+(* What actually leaves the node on a given flow, given its Byzantine
+   behaviour: [None] = suppressed, otherwise (value, extra delay). The
+   digest flow to the checker is special-cased for equivocation. *)
+let byz_outgoing (n : node) ~to_checker ~dst value =
+  match n.byz with
+  | None -> Some (value, Time.zero)
+  | Some Fault.Crash -> None
+  | Some Fault.Omit_outputs -> None
+  | Some (Fault.Omit_to targets) ->
+    if List.mem dst targets then None else Some (value, Time.zero)
+  | Some (Fault.Delay_outputs d) -> Some (value, d)
+  | Some Fault.Corrupt_outputs -> Some (mutate_value value, Time.zero)
+  | Some Fault.Equivocate ->
+    (* Clean story for the checker, garbage for the consumers. *)
+    if to_checker then Some (value, Time.zero)
+    else Some (mutate_value value, Time.zero)
+  | Some (Fault.Babble _) -> Some (value, Time.zero)
+
+(* Collect this task's inputs for the period. An unreplicated consumer
+   of a replicated producer receives one copy per lane; semantically
+   those are the same original flow, so keep only the lowest live lane
+   (same fallback rule the sinks use) — a behaviour must see exactly one
+   input per original flow, like the golden executor does. *)
+let gather_inputs (n : node) plan tid period =
+  let aug = plan.Planner.aug in
+  let present =
+    List.filter_map
+      (fun (fl : Graph.flow) ->
+        match Hashtbl.find_opt n.inbox (fl.flow_id, period) with
+        | None -> None
+        | Some e -> (
+          match Augment.orig_flow_of aug fl.flow_id with
+          | Some (orig_flow, lane) -> Some (lane, orig_flow, fl, e)
+          | None -> None))
+      (Graph.producers_of aug.Augment.graph tid)
+  in
+  let best = Hashtbl.create 8 in
+  List.iter
+    (fun (lane, orig_flow, fl, e) ->
+      match Hashtbl.find_opt best orig_flow with
+      | Some (l, _, _) when l <= lane -> ()
+      | _ -> Hashtbl.replace best orig_flow (lane, fl, e))
+    present;
+  Hashtbl.fold
+    (fun orig_flow (_, fl, e) acc ->
+      (fl, e, { Behavior.orig_flow; value = e.value }) :: acc)
+    best []
+
+(* Send one data message; payload digests let checkers and consumers
+   cross-validate without re-sending full values. *)
+let send_data t (n : node) ~flow ~period ~dst_node ~size ~to_checker value =
+  match byz_outgoing n ~to_checker ~dst:dst_node value with
+  | None -> ()
+  | Some (v, extra) ->
+    let digest = Behavior.value_digest v in
+    Authlog.append n.authlog (Authlog.Sent { flow; period; digest });
+    let send _ =
+      ignore
+        (Net.send t.net ~src:n.id ~dst:dst_node ~cls:Net.Data ~size_bytes:size
+           (Data { flow; period; value = v; digest }))
+    in
+    if Time.equal extra Time.zero then send t.eng
+    else ignore (Engine.schedule_in t.eng ~delay:extra send)
+
+(* Acknowledge a received input to the producer's checker so that
+   equivocation (clean digest to the checker, garbage to consumers)
+   is detectable. *)
+let send_ack t (n : node) plan ~producer_aug ~period (e : entry) =
+  let aug = plan.Planner.aug in
+  let orig = Augment.orig_of aug producer_aug in
+  if Augment.is_protected aug orig then
+    match Augment.checker_of aug orig with
+    | None -> ()
+    | Some checker_tid -> (
+      match assignment_node plan checker_tid with
+      | Some checker_node ->
+        ignore
+          (Net.send t.net ~src:n.id ~dst:checker_node ~cls:Net.Control
+             ~size_bytes:48
+             (Ack
+                {
+                  orig_task = orig;
+                  lane = Augment.lane_of aug producer_aug;
+                  period;
+                  digest = e.digest;
+                }))
+      | None -> ())
+
+let run_compute_task t (n : node) plan tid period =
+  let aug = plan.Planner.aug in
+  let g = aug.Augment.graph in
+  let task = Graph.task g tid in
+  let gathered = gather_inputs n plan tid period in
+  let inputs = List.map (fun (_, _, i) -> i) gathered in
+  (* Cross-report received inputs to the producers' checkers. *)
+  List.iter
+    (fun ((fl : Graph.flow), e, _) ->
+      send_ack t n plan ~producer_aug:fl.producer ~period e)
+    gathered;
+  let orig = Augment.orig_of aug tid in
+  let behavior = Behavior.find t.behaviors orig in
+  let output =
+    if task.Task.kind = Task.Source then behavior ~period ~inputs
+    else if inputs = [] && Graph.producers_of g tid <> [] then None
+    else behavior ~period ~inputs
+  in
+  let send_nacks () =
+    if byz_outgoing n ~to_checker:false ~dst:(-1) [||] <> None then
+      List.iter
+        (fun (fl : Graph.flow) ->
+          match assignment_node plan fl.consumer with
+          | None -> ()
+          | Some dst_node ->
+            ignore
+              (Net.send t.net ~src:n.id ~dst:dst_node ~cls:Net.Data
+                 ~size_bytes:16
+                 (Nack { flow = fl.flow_id; period })))
+        (Graph.consumers_of g tid)
+  in
+  match output with
+  | None -> send_nacks ()
+  | Some value ->
+    Authlog.append n.authlog
+      (Authlog.Executed
+         { task = tid; period; output_digest = Behavior.value_digest value });
+    (* Physical sources define the reference inputs: record what was
+       actually emitted (after any Byzantine mutation of this node). *)
+    (if task.Task.kind = Task.Source then
+       match byz_outgoing n ~to_checker:false ~dst:(-1) value with
+       | Some (v, _) -> Golden.note_source t.golden ~task:orig ~period v
+       | None -> ());
+    List.iter
+      (fun (fl : Graph.flow) ->
+        match assignment_node plan fl.consumer with
+        | None -> ()
+        | Some dst_node ->
+          let to_checker =
+            match Augment.role_of aug fl.consumer with
+            | Augment.Checker _ -> true
+            | Augment.Original | Augment.Replica _ | Augment.Guard _ -> false
+          in
+          send_data t n ~flow:fl.flow_id ~period ~dst_node ~size:fl.msg_size
+            ~to_checker value)
+      (Graph.consumers_of g tid)
+
+(* Checker (§4.2): replay each lane's output from the inputs that lane
+   actually received (carried alongside the digest in a real system;
+   read from the lane's inbox in the simulation) and accuse on
+   mismatch. Also compare last period's consumer acknowledgements
+   against the digest the lane claimed, to catch equivocation. *)
+let run_checker t (n : node) plan tid period =
+  let aug = plan.Planner.aug in
+  let g = aug.Augment.graph in
+  let orig = Augment.orig_of aug tid in
+  let behavior = Behavior.find t.behaviors orig in
+  let lanes = Augment.replicas_of aug orig in
+  List.iter
+    (fun lane_tid ->
+      let lane = Augment.lane_of aug lane_tid in
+      match assignment_node plan lane_tid with
+      | None -> ()
+      | Some lane_node -> (
+        (* The digest flow from this lane to us. *)
+        let digest_flow =
+          List.find_opt
+            (fun (fl : Graph.flow) -> fl.producer = lane_tid)
+            (Graph.producers_of g tid)
+        in
+        match digest_flow with
+        | None -> ()
+        | Some fl -> (
+          (match Hashtbl.find_opt n.inbox (fl.flow_id, period) with
+          | None -> () (* the watchdog reports the omission *)
+          | Some claimed -> (
+            match Hashtbl.find_opt t.nodes lane_node with
+            | None -> ()
+            | Some lane_host ->
+              let lane_inputs =
+                List.filter_map
+                  (fun (lf : Graph.flow) ->
+                    match Hashtbl.find_opt lane_host.inbox (lf.flow_id, period) with
+                    | Some e -> (
+                      match Augment.orig_flow_of aug lf.flow_id with
+                      | Some (orig_flow, _) ->
+                        Some { Behavior.orig_flow; value = e.value }
+                      | None -> None)
+                    | None -> None)
+                  (Graph.producers_of g lane_tid)
+              in
+              let expected =
+                if
+                  lane_inputs = []
+                  && (Graph.task g lane_tid).Task.kind = Task.Compute
+                  && Graph.producers_of g lane_tid <> []
+                then None
+                else behavior ~period ~inputs:lane_inputs
+              in
+              let ok =
+                match expected with
+                | None -> false (* it sent although replay says silence *)
+                | Some v ->
+                  Int64.equal (Behavior.value_digest v) claimed.digest
+              in
+              if not ok then
+                emit_evidence t n
+                  (statement t n ~accused:(Evidence.Node lane_node)
+                     ~fault_class:Evidence.Wrong_value ~period
+                     ~detail:
+                       (Printf.sprintf "task %d lane %d replay mismatch" orig lane))));
+          (* Equivocation check for the previous period — only when that
+             period already ran under the current plan, so the digest
+             flow id means the same thing it meant then. *)
+          if period > 0 && period - 1 >= n.plan_since then
+            let prev = period - 1 in
+            match Hashtbl.find_opt n.inbox (fl.flow_id, prev) with
+            | None -> ()
+            | Some claimed -> (
+              match Hashtbl.find_opt n.acks (orig, lane, prev) with
+              | None -> ()
+              | Some digests ->
+                if List.exists (fun d -> not (Int64.equal d claimed.digest)) !digests
+                then
+                  emit_evidence t n
+                    (statement t n ~accused:(Evidence.Node lane_node)
+                       ~fault_class:Evidence.Equivocation ~period:prev
+                       ~detail:
+                         (Printf.sprintf "task %d lane %d equivocated" orig lane))))))
+    lanes
+
+(* The sink acts on the primary lane's value, or the lowest live backup
+   lane (§1: use some replicas without waiting for the others). *)
+let run_sink t (n : node) plan tid period =
+  let aug = plan.Planner.aug in
+  let g = aug.Augment.graph in
+  (* Group this sink's incoming flows by original flow. *)
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (fl : Graph.flow) ->
+      match Augment.orig_flow_of aug fl.flow_id with
+      | Some (orig_flow, lane) ->
+        let l =
+          match Hashtbl.find_opt groups orig_flow with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace groups orig_flow l;
+            l
+        in
+        l := (lane, fl) :: !l
+      | None -> ())
+    (Graph.producers_of g tid);
+  (* Every original sink flow of the full workload that this sink owns
+     but the current mode does not carry has been shed (or lost). *)
+  List.iter
+    (fun (fl : Graph.flow) ->
+      if fl.consumer = Augment.orig_of aug tid && not (Hashtbl.mem groups fl.flow_id)
+      then Metrics.record_shed t.metrics ~orig_flow:fl.flow_id ~period)
+    (Graph.sink_flows (Planner.workload t.strategy));
+  Hashtbl.iter
+    (fun orig_flow lanes ->
+      let candidates =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) !lanes
+      in
+      let chosen =
+        List.find_map
+          (fun (lane, (fl : Graph.flow)) ->
+            match Hashtbl.find_opt n.inbox (fl.flow_id, period) with
+            | Some e ->
+              send_ack t n plan ~producer_aug:fl.producer ~period e;
+              Some (lane, e)
+            | None -> None)
+          candidates
+      in
+      match chosen with
+      | None -> ()
+      | Some (lane, e) ->
+        Metrics.record_delivery t.metrics ~orig_flow ~period ~value:e.value
+          ~arrived:e.arrived ~lane;
+        (match Hashtbl.find_opt t.actuators orig_flow with
+        | Some act -> act ~period ~value:e.value ~at:(Engine.now t.eng)
+        | None -> ()))
+    groups
+
+let exec_task t (n : node) plan tid period =
+  if n.running && n.plan == plan then
+    match Augment.role_of plan.Planner.aug tid with
+    | Augment.Guard _ -> ()
+    | Augment.Checker _ -> run_checker t n plan tid period
+    | Augment.Original | Augment.Replica _ ->
+      let task = Graph.task plan.Planner.aug.Augment.graph tid in
+      if task.Task.kind = Task.Sink then run_sink t n plan tid period
+      else run_compute_task t n plan tid period
+
+(* ------------------------------------------------------------------ *)
+(* Message reception                                                    *)
+
+(* Accept a data message only if the current schedule says [src] is the
+   one to send that flow; during a transition senders briefly disagree,
+   which is the §4.4 "confusion" BTR tolerates. *)
+let data_admissible (n : node) ~src ~flow =
+  match flow_in_plan n.plan flow with
+  | None -> false
+  | Some fl -> (
+    match assignment_node n.plan fl.producer with
+    | Some expected -> expected = src
+    | None -> false)
+
+let on_receive t (n : node) (r : msg Net.recv) =
+  if n.running then
+    match r.Net.payload with
+    | Data { flow; period; value; digest } ->
+      if data_admissible n ~src:r.Net.src ~flow then begin
+        if not (Hashtbl.mem n.inbox (flow, period)) then begin
+          Hashtbl.replace n.inbox (flow, period)
+            { value; digest; arrived = r.Net.delivered_at; from = r.Net.src };
+          Authlog.append n.authlog
+            (Authlog.Received { flow; period; digest; from_node = r.Net.src })
+        end;
+        match
+          Detect.Watchdog.note_arrival n.watchdog ~flow ~period
+            ~at:r.Net.delivered_at
+        with
+        | None -> ()
+        | Some late ->
+          (* One declaration per path suffices; attribution is set-based
+             and re-flooding the same suspicion wastes control bandwidth. *)
+          if
+            Time.compare (Engine.now t.eng) n.grace_until >= 0
+            && not
+                 (Modeswitch.Fault_set.mem_path n.fault_set
+                    (late.Detect.Watchdog.from_node, n.id))
+          then
+            emit_evidence t n
+              (statement t n
+                 ~accused:(Evidence.path late.Detect.Watchdog.from_node n.id)
+                 ~fault_class:Evidence.Timing ~period
+                 ~detail:
+                   (Printf.sprintf "flow %d late by %s" flow
+                      (Time.to_string late.Detect.Watchdog.lateness)))
+      end
+    | Nack { flow; period } ->
+      ignore
+        (Detect.Watchdog.note_arrival n.watchdog ~flow ~period
+           ~at:r.Net.delivered_at)
+    | Ack { orig_task; lane; period; digest } ->
+      let key = (orig_task, lane, period) in
+      let l =
+        match Hashtbl.find_opt n.acks key with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace n.acks key l;
+          l
+      in
+      l := digest :: !l
+    | Ev record ->
+      (* Validation costs CPU; the guard task's reservation covers it,
+         and the latency is modelled here. *)
+      ignore
+        (Engine.schedule_in t.eng ~delay:(Auth.verify_cost t.auth) (fun _ ->
+             if n.running then receive_evidence t n ~src:r.Net.src record))
+    | State { task } -> Hashtbl.replace n.state_received task ()
+
+(* ------------------------------------------------------------------ *)
+(* Period boundaries                                                    *)
+
+let install_expectations t (n : node) period =
+  let plan = n.plan in
+  let aug = plan.Planner.aug in
+  let base = Time.mul t.period_len period in
+  List.iter
+    (fun (fl : Graph.flow) ->
+      match assignment_node plan fl.consumer, assignment_node plan fl.producer with
+      | Some cn, Some pn when cn = n.id && pn <> n.id -> (
+        match Schedule.window plan.Planner.schedule fl.consumer with
+        | Some (start, _) ->
+          Detect.Watchdog.expect n.watchdog ~flow:fl.flow_id ~period
+            ~from_node:pn ~deadline:(Time.add base start)
+        | None -> ())
+      | _ -> ())
+    (Graph.flows aug.Augment.graph)
+
+let install_slots t (n : node) period =
+  let plan = n.plan in
+  let base = Time.mul t.period_len period in
+  List.iter
+    (fun (s : Schedule.slot) ->
+      ignore
+        (Engine.schedule t.eng ~at:(Time.add base s.finish) (fun _ ->
+             exec_task t n plan s.task period)))
+    (Schedule.slots_on plan.Planner.schedule n.id)
+
+let sweep_watchdog t (n : node) =
+  List.iter
+    (fun (flow, period, from_node) ->
+      if
+        Time.compare (Engine.now t.eng) n.grace_until >= 0
+        && not (Modeswitch.Fault_set.mem_path n.fault_set (from_node, n.id))
+      then
+        emit_evidence t n
+          (statement t n
+             ~accused:(Evidence.path from_node n.id)
+             ~fault_class:Evidence.Omission ~period
+             ~detail:(Printf.sprintf "flow %d never arrived" flow)))
+    (Detect.Watchdog.overdue n.watchdog ~now:(Engine.now t.eng))
+
+let activate_pending t (n : node) =
+  match n.pending with
+  | None -> ()
+  | Some next ->
+    let ready =
+      List.for_all (Hashtbl.mem n.state_received) n.awaiting_state
+      || n.pending_waited >= t.config.state_wait_boundaries
+    in
+    if ready then begin
+      n.plan <- next;
+      n.pending <- None;
+      n.pending_waited <- 0;
+      n.awaiting_state <- [];
+      n.plan_since <- Engine.now t.eng / t.period_len;
+      n.grace_until <- Time.add (Engine.now t.eng) (Time.mul t.period_len 2);
+      t.rev_mode_changes <-
+        (Engine.now t.eng, n.id, next.Planner.faulty) :: t.rev_mode_changes
+    end
+    else n.pending_waited <- n.pending_waited + 1
+
+let babble t (n : node) period =
+  match n.byz with
+  | Some (Fault.Babble { bogus_per_period }) ->
+    for i = 1 to bogus_per_period do
+      let bogus =
+        {
+          Evidence.statement =
+            statement t n
+              ~accused:(Evidence.Node ((n.id + i) mod Topology.node_count t.topo))
+              ~fault_class:Evidence.Wrong_value ~period
+              ~detail:"fabricated";
+          tag = Auth.forge_tag ();
+        }
+      in
+      List.iter
+        (fun dst ->
+          if dst <> n.id then
+            ignore
+              (Net.send t.net ~src:n.id ~dst ~cls:Net.Control
+                 ~size_bytes:(Evidence.size_bytes bogus) (Ev bogus)))
+        (Topology.nodes t.topo)
+    done
+  | _ -> ()
+
+(* Outputs the current mode intentionally no longer carries (shed low
+   criticality, or endpoints lost with their faulty node) must be
+   judged Shed, even when the sink itself is gone and cannot say so.
+   The reference is the most-advanced plan among correct nodes. *)
+let mark_uncarried_shed t period =
+  let reference =
+    Hashtbl.fold
+      (fun _ n best ->
+        if not n.running then best
+        else
+          match best with
+          | Some b
+            when List.length b.Planner.faulty
+                 >= List.length n.plan.Planner.faulty ->
+            best
+          | _ -> Some n.plan)
+      t.nodes None
+  in
+  match reference with
+  | None -> ()
+  | Some plan ->
+    let carried = Hashtbl.create 16 in
+    List.iter
+      (fun (fid, (orig, _lane)) ->
+        ignore fid;
+        Hashtbl.replace carried orig ())
+      plan.Planner.aug.Augment.flow_origin;
+    List.iter
+      (fun (fl : Graph.flow) ->
+        if not (Hashtbl.mem carried fl.flow_id) then
+          Metrics.record_shed t.metrics ~orig_flow:fl.flow_id ~period)
+      (Graph.sink_flows (Planner.workload t.strategy))
+
+let boundary t period =
+  Hashtbl.iter (fun _ n -> if n.running then sweep_watchdog t n) t.nodes;
+  (* Judge the finished period under the plans that actually governed
+     it, before anyone activates a pending plan for the next one. *)
+  if period > 0 then begin
+    mark_uncarried_shed t (period - 1);
+    Metrics.finalize_period t.metrics ~golden:t.golden ~period:(period - 1)
+  end;
+  Hashtbl.iter (fun _ n -> if n.running then activate_pending t n) t.nodes;
+  if period < t.total_periods then
+    Hashtbl.iter
+      (fun _ n ->
+        if n.running then begin
+          (* Commit the log before entering the new period: the guard
+             task's CPU reservation covers checkpoint signing (§4.1). *)
+          n.checkpoints <- Authlog.checkpoint n.authlog t.auth n.secret :: n.checkpoints;
+          install_expectations t n period;
+          install_slots t n period;
+          babble t n period
+        end)
+      t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Fault script and run loop                                            *)
+
+let apply_script_event t (ev : Fault.event) =
+  let n = node_of t ev.Fault.node in
+  n.byz <- Some ev.Fault.behavior;
+  if ev.Fault.behavior = Fault.Crash then n.running <- false;
+  (* A compromised node also controls its relaying of transit traffic
+     (multi-hop topologies): silence and delays apply there too. *)
+  (match ev.Fault.behavior with
+  | Fault.Crash | Fault.Omit_outputs ->
+    Net.set_relay_policy t.net n.id (fun ~src:_ ~dst:_ ~cls:_ -> false)
+  | Fault.Omit_to targets ->
+    Net.set_relay_policy t.net n.id (fun ~src:_ ~dst ~cls:_ ->
+        not (List.mem dst targets))
+  | Fault.Delay_outputs d -> Net.set_relay_delay t.net n.id d
+  | Fault.Corrupt_outputs | Fault.Equivocate | Fault.Babble _ -> ());
+  Metrics.record_injection t.metrics ~at:(Engine.now t.eng) ~node:ev.Fault.node
+    ~what:(Fault.behavior_name ev.Fault.behavior)
+
+let run t ~horizon =
+  if t.started then invalid_arg "Runtime.run: already ran";
+  t.started <- true;
+  t.total_periods <- horizon / t.period_len;
+  Hashtbl.iter (fun id n -> Net.set_handler t.net id (on_receive t n)) t.nodes;
+  List.iter
+    (fun (ev : Fault.event) ->
+      ignore (Engine.schedule t.eng ~at:ev.Fault.at (fun _ -> apply_script_event t ev)))
+    t.script;
+  for p = 0 to t.total_periods do
+    ignore
+      (Engine.schedule t.eng ~at:(Time.mul t.period_len p) (fun _ -> boundary t p))
+  done;
+  Engine.run ~until:horizon t.eng

@@ -1,0 +1,45 @@
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Topology = Btr_net.Topology
+module Planner = Btr_planner.Planner
+module Fault = Btr_fault.Fault
+
+type spec = {
+  workload : Graph.t;
+  topology : Topology.t;
+  f : int;
+  recovery_bound : Time.t;
+  script : Fault.script;
+  horizon : Time.t;
+  seed : int;
+  behaviors : (Task.id * Behavior.fn) list;
+  tune : Planner.config -> Planner.config;
+}
+
+let spec ~workload ~topology ~f ~recovery_bound ?(script = []) ?horizon
+    ?(seed = 1) ?(behaviors = []) ?(tune = Fun.id) () =
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> Time.mul (Graph.period workload) 100
+  in
+  { workload; topology; f; recovery_bound; script; horizon; seed; behaviors; tune }
+
+let plan s =
+  let cfg = s.tune (Planner.default_config ~f:s.f ~recovery_bound:s.recovery_bound) in
+  Planner.build cfg s.workload s.topology
+
+let prepare s =
+  match plan s with
+  | Error e -> Error e
+  | Ok strategy ->
+    let config = { Runtime.default_config with seed = s.seed } in
+    Ok (Runtime.create ~config ~behaviors:s.behaviors ~script:s.script ~strategy ())
+
+let run s =
+  match prepare s with
+  | Error e -> Error e
+  | Ok rt ->
+    Runtime.run rt ~horizon:s.horizon;
+    Ok rt

@@ -1,0 +1,49 @@
+(** One-call assembly of a complete BTR deployment.
+
+    Plans the workload onto the topology, deploys the strategy on the
+    simulator, injects the fault script and runs to the horizon. This
+    is the entry point the examples, tests and benchmarks share. *)
+
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Topology = Btr_net.Topology
+module Planner = Btr_planner.Planner
+module Fault = Btr_fault.Fault
+
+type spec = {
+  workload : Graph.t;
+  topology : Topology.t;
+  f : int;
+  recovery_bound : Time.t;
+  script : Fault.script;
+  horizon : Time.t;
+  seed : int;
+  behaviors : (Task.id * Behavior.fn) list;
+  tune : Planner.config -> Planner.config;
+      (** applied to the default planner config before building *)
+}
+
+val spec :
+  workload:Graph.t ->
+  topology:Topology.t ->
+  f:int ->
+  recovery_bound:Time.t ->
+  ?script:Fault.script ->
+  ?horizon:Time.t ->
+  ?seed:int ->
+  ?behaviors:(Task.id * Behavior.fn) list ->
+  ?tune:(Planner.config -> Planner.config) ->
+  unit ->
+  spec
+(** Defaults: no faults, horizon = 100 periods, seed 1. *)
+
+val plan : spec -> (Planner.t, Planner.error) result
+(** Just the offline phase. *)
+
+val prepare : spec -> (Runtime.t, Planner.error) result
+(** Plan and deploy, but do not run — callers can hook actuators
+    ({!Runtime.on_actuate}) first. *)
+
+val run : spec -> (Runtime.t, Planner.error) result
+(** Plan, deploy, inject, run to the horizon. *)

@@ -1,0 +1,1 @@
+lib/crypto/auth.ml: Btr_util Char Hashtbl Int64 List Printf Rng String Time

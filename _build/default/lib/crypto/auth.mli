@@ -1,0 +1,73 @@
+(** Simulated message authentication.
+
+    BTR's evidence machinery needs two things from cryptography: that a
+    correct node's statements cannot be forged by other (possibly
+    Byzantine) nodes, and that signing/verifying has a CPU cost that
+    competes with the real-time workload (§4.1: "there are no extra
+    resources for BTR"). Both are provided without real cryptography:
+
+    - tags are 64-bit keyed digests; unforgeability holds because the
+      simulator hands each node only its own {!secret}, so Byzantine
+      code simply has no way to produce another node's tag (and guessing
+      succeeds with probability 2{^-64});
+    - every [sign]/[verify] reports its cost from the {!cost_model}, and
+      callers charge it to the node's CPU budget.
+
+    Real deployments would substitute Ed25519 or CBC-MAC authenticators;
+    nothing above this module depends on the tag construction. *)
+
+open Btr_util
+
+type t
+(** The key authority: generates keys and verifies tags. Conceptually
+    this is "the PKI established at system integration time". *)
+
+type secret
+(** A node-held signing key. Possession is the only way to sign. *)
+
+type tag
+(** An authenticator over a message. *)
+
+type cost_model = { sign_cost : Time.t; verify_cost : Time.t }
+
+val default_costs : cost_model
+(** 50µs sign, 20µs verify — commodity-MCU ballpark for short MACs. *)
+
+val create : ?costs:cost_model -> unit -> t
+
+val gen_key : t -> owner:int -> secret
+(** Registers and returns the signing key for principal [owner].
+    Raises [Invalid_argument] if [owner] already has a key. *)
+
+val owner_of_secret : secret -> int
+
+val sign : t -> secret -> string -> tag
+val verify : t -> signer:int -> string -> tag -> bool
+(** [verify] is [false] for unknown signers rather than raising: a
+    Byzantine node may well claim a nonexistent identity. *)
+
+val sign_cost : t -> Time.t
+val verify_cost : t -> Time.t
+
+val tag_to_string : tag -> string
+val equal_tag : tag -> tag -> bool
+
+val forge_tag : unit -> tag
+(** A structurally valid but unauthenticated tag. Used only by fault
+    injection to model a Byzantine node fabricating evidence; [verify]
+    rejects it (except with the 2{^-64} collision probability that real
+    MACs also have — the simulation treats it as zero). *)
+
+val digest : string -> int64
+(** FNV-1a 64-bit content digest, used for hash chains and replica
+    output comparison. *)
+
+(** Tamper-evident logs: each record's digest covers its predecessor,
+    as in PeerReview-style evidence logs. *)
+module Chain : sig
+  type link = int64
+
+  val genesis : link
+  val extend : link -> string -> link
+  val of_records : string list -> link
+end

@@ -1,0 +1,1 @@
+lib/detect/detect.ml: Btr_evidence Btr_util Hashtbl List Option Time

@@ -1,0 +1,1 @@
+lib/detect/detect.mli: Btr_evidence Btr_util Time

@@ -1,0 +1,105 @@
+open Btr_util
+module Evidence = Btr_evidence.Evidence
+
+let path_statement_admissible (s : Evidence.statement) =
+  match s.accused with
+  | Evidence.Path (a, b) -> s.detector = a || s.detector = b
+  | Evidence.Node _ -> true
+
+module Watchdog = struct
+  type expectation = { from_node : int; deadline : Time.t; mutable met : bool }
+  type late = { flow : int; period : int; from_node : int; lateness : Time.t }
+
+  type t = {
+    node : int;
+    margin : Time.t;
+    strikes : int;
+    table : (int * int, expectation) Hashtbl.t;
+    misses : (int, int) Hashtbl.t;  (* per from_node missing count *)
+  }
+
+  let create ~node ~margin ?(strikes = 1) () =
+    if strikes < 1 then invalid_arg "Watchdog.create: strikes < 1";
+    {
+      node;
+      margin;
+      strikes;
+      table = Hashtbl.create 64;
+      misses = Hashtbl.create 16;
+    }
+
+  let expect t ~flow ~period ~from_node ~deadline =
+    if not (Hashtbl.mem t.table (flow, period)) then
+      Hashtbl.replace t.table (flow, period) { from_node; deadline; met = false }
+
+  let note_arrival t ~flow ~period ~at =
+    match Hashtbl.find_opt t.table (flow, period) with
+    | None -> None
+    | Some e ->
+      e.met <- true;
+      let limit = Time.add e.deadline t.margin in
+      if Time.compare at limit > 0 then
+        Some { flow; period; from_node = e.from_node; lateness = Time.sub at limit }
+      else None
+
+  let overdue t ~now =
+    let due = ref [] in
+    Hashtbl.iter
+      (fun (flow, period) e ->
+        if (not e.met) && Time.compare now (Time.add e.deadline t.margin) > 0 then
+          due := ((flow, period), e) :: !due)
+      t.table;
+    (* Mark as met so the next sweep skips them; report a sender only
+       once it has accumulated [strikes] misses (loss tolerance). *)
+    List.filter_map
+      (fun ((flow, period), e) ->
+        e.met <- true;
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.misses e.from_node) in
+        Hashtbl.replace t.misses e.from_node n;
+        if n >= t.strikes then Some (flow, period, e.from_node) else None)
+      (List.sort compare !due)
+
+  let pending t =
+    Hashtbl.fold (fun _ e acc -> if e.met then acc else acc + 1) t.table 0
+end
+
+module Attribution = struct
+  type t = {
+    threshold : int;
+    counterpart : (int, int list ref) Hashtbl.t;
+    mutable attributed_rev : int list;
+  }
+
+  let create ~threshold =
+    if threshold < 1 then invalid_arg "Attribution.create: threshold < 1";
+    { threshold; counterpart = Hashtbl.create 16; attributed_rev = [] }
+
+  let counterparties t n =
+    match Hashtbl.find_opt t.counterpart n with Some l -> !l | None -> []
+
+  let is_attributed t n = List.mem n t.attributed_rev
+
+  let note_one t node other =
+    let l =
+      match Hashtbl.find_opt t.counterpart node with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace t.counterpart node l;
+        l
+    in
+    if List.mem other !l then false
+    else begin
+      l := other :: !l;
+      List.length !l >= t.threshold && not (is_attributed t node)
+    end
+
+  let note_path t ~a ~b =
+    let newly = ref [] in
+    if note_one t a b then newly := a :: !newly;
+    if note_one t b a then newly := b :: !newly;
+    List.iter (fun n -> t.attributed_rev <- n :: t.attributed_rev) !newly;
+    List.rev !newly
+
+  let attributed t = List.rev t.attributed_rev
+end

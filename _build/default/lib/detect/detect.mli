@@ -1,0 +1,79 @@
+(** Runtime fault detection (paper §4.2).
+
+    Three mechanisms cooperate:
+
+    - {b Replay checking} (in the BTR runtime, using this module's
+      verdict helpers): checking tasks recompute a replica's output from
+      the signed inputs that replica presented; a mismatch is
+      {e attributable} evidence against the replica's node.
+    - {b Watchdogs} ({!Watchdog}): every expected message has a known
+      arrival window, because schedules are static. A message that
+      never arrives is an {e omission}; one that arrives outside its
+      window (plus margin) is a {e timing} fault. Omissions cannot be
+      pinned on an endpoint — the sender may have failed to send or the
+      receiver may be lying — so they only yield {e path} declarations.
+    - {b Attribution} ({!Attribution}): path declarations are counted
+      per endpoint. A node that appears on at least [threshold]
+      distinct problematic paths is attributed as faulty. With
+      [threshold = f + 1], no correct node is ever falsely attributed:
+      a correct endpoint acquires problematic paths only opposite
+      faulty counterparties, and there are at most [f] of those. A
+      faulty node that omits toward fewer than [f + 1] counterparties
+      evades attribution, but then per-path workarounds (backup lanes)
+      already keep outputs correct — exactly the paper's proposal. *)
+
+open Btr_util
+module Evidence = Btr_evidence.Evidence
+
+val path_statement_admissible : Evidence.statement -> bool
+(** Per §4.2, a node may declare (without further proof) a problem only
+    with a path {e it is an endpoint of}. Statements violating this are
+    dropped — and a declared path always incriminates its declarer as
+    one of the two suspects, so flooding bogus declarations
+    self-incriminates. *)
+
+module Watchdog : sig
+  type t
+
+  type late = { flow : int; period : int; from_node : int; lateness : Time.t }
+
+  val create : node:int -> margin:Time.t -> ?strikes:int -> unit -> t
+  (** [margin] is slack added to scheduled arrival times before
+      declaring anything; it absorbs queueing jitter. [strikes]
+      (default 1) is how many missing messages a path must accumulate
+      before it is reported: 1 matches the paper's FEC assumption
+      ("losses are rare enough to be ignored"); higher values trade
+      detection latency for robustness to residual link loss. *)
+
+  val expect :
+    t -> flow:int -> period:int -> from_node:int -> deadline:Time.t -> unit
+  (** Registers that a message on [flow] for [period] should arrive by
+      [deadline] (absolute). Idempotent per (flow, period). *)
+
+  val note_arrival : t -> flow:int -> period:int -> at:Time.t -> late option
+  (** Marks the expectation satisfied. Returns the timing violation if
+      the arrival missed its window by more than the margin. Arrivals
+      with no registered expectation return [None]. *)
+
+  val overdue : t -> now:Time.t -> (int * int * int) list
+  (** [(flow, period, from_node)] for every expectation whose deadline
+      (+margin) passed unsatisfied; each is reported exactly once. *)
+
+  val pending : t -> int
+end
+
+module Attribution : sig
+  type t
+
+  val create : threshold:int -> t
+
+  val note_path : t -> a:int -> b:int -> int list
+  (** Records the unordered path and returns the nodes that became
+      attributable {e because of this call} (newly crossed the
+      threshold of distinct counterparties); [] otherwise. Duplicate
+      declarations of the same path are idempotent. *)
+
+  val counterparties : t -> int -> int list
+  val attributed : t -> int list
+  val is_attributed : t -> int -> bool
+end

@@ -1,0 +1,1 @@
+lib/evidence/authlog.ml: Btr_crypto Int64 List Printf

@@ -1,0 +1,1 @@
+lib/evidence/authlog.mli: Btr_crypto

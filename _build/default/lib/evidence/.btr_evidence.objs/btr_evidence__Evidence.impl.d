@@ -1,0 +1,1 @@
+lib/evidence/evidence.ml: Btr_crypto Btr_util Format Hashtbl List Option Printf String Time

@@ -1,0 +1,1 @@
+lib/evidence/evidence.mli: Btr_crypto Btr_util Format Time

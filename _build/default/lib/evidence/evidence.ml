@@ -1,0 +1,116 @@
+open Btr_util
+module Auth = Btr_crypto.Auth
+
+type fault_class =
+  | Wrong_value
+  | Omission
+  | Timing
+  | Equivocation
+  | Forged_evidence
+
+let pp_fault_class ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Wrong_value -> "wrong-value"
+    | Omission -> "omission"
+    | Timing -> "timing"
+    | Equivocation -> "equivocation"
+    | Forged_evidence -> "forged-evidence")
+
+type accused = Node of int | Path of int * int
+
+let path a b = if a <= b then Path (a, b) else Path (b, a)
+
+type statement = {
+  accused : accused;
+  fault_class : fault_class;
+  detector : int;
+  period : int;
+  detected_at : Time.t;
+  detail : string;
+}
+
+let encode s =
+  let accused =
+    match s.accused with
+    | Node n -> Printf.sprintf "node:%d" n
+    | Path (a, b) -> Printf.sprintf "path:%d-%d" a b
+  in
+  Printf.sprintf "%s|%s|det:%d|p:%d|t:%d|%s" accused
+    (Format.asprintf "%a" pp_fault_class s.fault_class)
+    s.detector s.period s.detected_at s.detail
+
+type record = { statement : statement; tag : Auth.tag }
+
+let sign auth secret statement =
+  if Auth.owner_of_secret secret <> statement.detector then
+    invalid_arg "Evidence.sign: detector must sign its own statements";
+  { statement; tag = Auth.sign auth secret (encode statement) }
+
+let validate auth r =
+  Auth.verify auth ~signer:r.statement.detector (encode r.statement) r.tag
+
+let size_bytes r = String.length (encode r.statement) + 16
+
+let dedup_key r = encode r.statement
+
+let pp ppf r =
+  let s = r.statement in
+  Format.fprintf ppf "[%a by node %d @ %a, period %d: %s]" pp_fault_class
+    s.fault_class s.detector Time.pp s.detected_at s.period
+    (match s.accused with
+    | Node n -> Printf.sprintf "node %d" n
+    | Path (a, b) -> Printf.sprintf "path %d-%d" a b)
+
+module Distributor = struct
+  type verdict = Fresh | Duplicate | Invalid
+
+  type t = {
+    node : int;
+    seen_keys : (string, unit) Hashtbl.t;
+    mutable rev_seen : record list;
+    sent : (string * int, unit) Hashtbl.t;
+    invalid_by : (int, int) Hashtbl.t;
+  }
+
+  let create ~node =
+    {
+      node;
+      seen_keys = Hashtbl.create 32;
+      rev_seen = [];
+      sent = Hashtbl.create 64;
+      invalid_by = Hashtbl.create 8;
+    }
+
+  let node t = t.node
+
+  let admit t auth r =
+    if not (validate auth r) then begin
+      let signer = r.statement.detector in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt t.invalid_by signer) in
+      Hashtbl.replace t.invalid_by signer (prev + 1);
+      Invalid
+    end
+    else begin
+      let k = dedup_key r in
+      if Hashtbl.mem t.seen_keys k then Duplicate
+      else begin
+        Hashtbl.replace t.seen_keys k ();
+        t.rev_seen <- r :: t.rev_seen;
+        Fresh
+      end
+    end
+
+  let already_sent t r ~dst =
+    let k = (dedup_key r, dst) in
+    if Hashtbl.mem t.sent k then true
+    else begin
+      Hashtbl.replace t.sent k ();
+      false
+    end
+
+  let seen t = List.rev t.rev_seen
+
+  let invalid_count_from t n =
+    Option.value ~default:0 (Hashtbl.find_opt t.invalid_by n)
+end

@@ -1,0 +1,86 @@
+(** Evidence of faults (paper §4.2–4.3).
+
+    Because no node is trusted, a detected fault must be turned into
+    {e evidence} that other nodes can verify independently; otherwise a
+    compromised node could trigger mode changes at will by "detecting"
+    nonexistent faults. An evidence record is a statement signed by the
+    detecting node. Statements either accuse a specific node (commission
+    faults identified by replay, timing faults, equivocation, evidence
+    forgery) or declare a {e path} problematic (omissions, which cannot
+    be attributed to an endpoint directly — §4.2's third challenge).
+
+    The {!Distributor} implements §4.3's per-node admission logic:
+    validate before forwarding, deduplicate, endorse, and count invalid
+    evidence against whoever signed it (so bogus-evidence floods are
+    self-incriminating). *)
+
+open Btr_util
+module Auth = Btr_crypto.Auth
+
+type fault_class =
+  | Wrong_value  (** output does not match replay of signed inputs *)
+  | Omission  (** an expected message never arrived *)
+  | Timing  (** right message at the wrong time *)
+  | Equivocation  (** different values for the same (flow, period) *)
+  | Forged_evidence  (** signed an evidence record that fails validation *)
+
+val pp_fault_class : Format.formatter -> fault_class -> unit
+
+type accused =
+  | Node of int
+  | Path of int * int  (** unordered; constructors normalize order *)
+
+val path : int -> int -> accused
+
+type statement = {
+  accused : accused;
+  fault_class : fault_class;
+  detector : int;  (** node that produced the evidence *)
+  period : int;  (** workload period index of the observation *)
+  detected_at : Time.t;
+  detail : string;
+}
+
+val encode : statement -> string
+(** Canonical byte string covered by the signature. Injective on all
+    fields. *)
+
+type record = { statement : statement; tag : Auth.tag }
+
+val sign : Auth.t -> Auth.secret -> statement -> record
+(** Raises [Invalid_argument] if the secret's owner differs from
+    [statement.detector] — a node can only issue evidence as itself. *)
+
+val validate : Auth.t -> record -> bool
+val size_bytes : record -> int
+(** Wire size for network accounting (statement + tag). *)
+
+val dedup_key : record -> string
+(** Two records with the same key describe the same observation. *)
+
+val pp : Format.formatter -> record -> unit
+
+module Distributor : sig
+  type t
+
+  type verdict =
+    | Fresh  (** valid and not seen before: apply and forward *)
+    | Duplicate
+    | Invalid  (** failed validation: drop, count against the signer *)
+
+  val create : node:int -> t
+  val node : t -> int
+
+  val admit : t -> Auth.t -> record -> verdict
+
+  val already_sent : t -> record -> dst:int -> bool
+  (** Whether this node already forwarded the record to [dst]; marks it
+      sent otherwise. Keeps flooding quadratic-bounded. *)
+
+  val seen : t -> record list
+  (** All fresh records admitted so far, oldest first. *)
+
+  val invalid_count_from : t -> int -> int
+  (** How many invalid records claimed to be signed by the given node —
+      input for a [Forged_evidence] accusation. *)
+end

@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Btr_util Format List String Time

@@ -1,0 +1,1 @@
+lib/fault/fault.mli: Btr_util Format Time

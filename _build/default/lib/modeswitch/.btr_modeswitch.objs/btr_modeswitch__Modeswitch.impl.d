@@ -1,0 +1,1 @@
+lib/modeswitch/modeswitch.ml: Btr_planner Btr_workload Format Int List

@@ -1,0 +1,1 @@
+lib/modeswitch/modeswitch.mli: Btr_planner Btr_workload Format

@@ -1,0 +1,98 @@
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Planner = Btr_planner.Planner
+module Augment = Btr_planner.Augment
+
+module Fault_set = struct
+  type t = {
+    mutable node_list : int list;  (* sorted *)
+    mutable path_list : (int * int) list;
+  }
+
+  let create () = { node_list = []; path_list = [] }
+
+  let add_node t n =
+    if List.mem n t.node_list then false
+    else begin
+      t.node_list <- List.sort Int.compare (n :: t.node_list);
+      true
+    end
+
+  let norm (a, b) = if a <= b then (a, b) else (b, a)
+
+  let add_path t p =
+    let p = norm p in
+    if List.mem p t.path_list then false
+    else begin
+      t.path_list <- List.sort compare (p :: t.path_list);
+      true
+    end
+
+  let nodes t = t.node_list
+  let paths t = t.path_list
+  let mem_node t n = List.mem n t.node_list
+  let mem_path t p = List.mem (norm p) t.path_list
+
+  let union t other =
+    let changed = ref false in
+    List.iter (fun n -> if add_node t n then changed := true) other.node_list;
+    List.iter (fun p -> if add_path t p then changed := true) other.path_list;
+    !changed
+end
+
+type action =
+  | Stop of Task.id
+  | Start_fresh of Task.id
+  | Start_after_state of { task : Task.id; from_node : int; bytes : int }
+  | Send_state of { task : Task.id; to_node : int; bytes : int }
+
+let pp_action ppf = function
+  | Stop t -> Format.fprintf ppf "stop task %d" t
+  | Start_fresh t -> Format.fprintf ppf "start task %d (fresh)" t
+  | Start_after_state { task; from_node; bytes } ->
+    Format.fprintf ppf "start task %d after %dB of state from node %d" task bytes
+      from_node
+  | Send_state { task; to_node; bytes } ->
+    Format.fprintf ppf "send %dB of task %d state to node %d" bytes task to_node
+
+let diff ~node ~from_plan ~to_plan =
+  let open Planner in
+  let from_assign = from_plan.assignment and to_assign = to_plan.assignment in
+  let state_size tid =
+    match Graph.task to_plan.aug.Augment.graph tid with
+    | x -> x.Task.state_size
+    | exception Invalid_argument _ -> (
+      match Graph.task from_plan.aug.Augment.graph tid with
+      | x -> x.Task.state_size
+      | exception Invalid_argument _ -> 0)
+  in
+  let actions = ref [] in
+  let emit a = actions := a :: !actions in
+  (* Tasks leaving this node: stop; ship state if they moved to a live
+     node and carry state. *)
+  List.iter
+    (fun (tid, old_node) ->
+      if old_node = node then
+        match List.assoc_opt tid to_assign with
+        | Some new_node when new_node = node -> ()
+        | Some new_node ->
+          emit (Stop tid);
+          let bytes = state_size tid in
+          if bytes > 0 && not (List.mem node to_plan.faulty) then
+            emit (Send_state { task = tid; to_node = new_node; bytes })
+        | None -> emit (Stop tid))
+    from_assign;
+  (* Tasks arriving at this node. *)
+  List.iter
+    (fun (tid, new_node) ->
+      if new_node = node then
+        match List.assoc_opt tid from_assign with
+        | Some old_node when old_node = node -> ()
+        | Some old_node ->
+          let bytes = state_size tid in
+          if bytes > 0 && not (List.mem old_node to_plan.faulty) then
+            emit (Start_after_state { task = tid; from_node = old_node; bytes })
+          else emit (Start_fresh tid)
+        | None -> emit (Start_fresh tid))
+    to_assign;
+  List.rev !actions

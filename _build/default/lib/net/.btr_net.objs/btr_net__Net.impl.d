@@ -1,0 +1,1 @@
+lib/net/net.ml: Btr_sim Btr_util Format Hashtbl List Option Printf Rng Stats Stdlib Time Topology

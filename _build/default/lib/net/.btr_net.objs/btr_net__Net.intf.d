@@ -1,0 +1,1 @@
+lib/net/net.mli: Btr_sim Btr_util Format Time Topology

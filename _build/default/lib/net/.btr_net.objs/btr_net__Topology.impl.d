@@ -1,0 +1,1 @@
+lib/net/topology.ml: Btr_util Format Fun Hashtbl Int List Printf Queue String

@@ -1,0 +1,274 @@
+open Btr_util
+module Engine = Btr_sim.Engine
+
+type node_id = Topology.node_id
+type cls = Data | Control
+
+let pp_cls ppf = function
+  | Data -> Format.pp_print_string ppf "data"
+  | Control -> Format.pp_print_string ppf "control"
+
+type shares = { data_frac : float; control_frac : float }
+
+let default_shares ~n_members =
+  let per = 1.0 /. float_of_int n_members in
+  { data_frac = 0.8 *. per; control_frac = 0.2 *. per }
+
+type 'a recv = {
+  src : node_id;
+  dst : node_id;
+  payload : 'a;
+  size_bytes : int;
+  cls : cls;
+  sent_at : Time.t;
+  delivered_at : Time.t;
+  hops : int;
+}
+
+type 'a t = {
+  eng : Engine.t;
+  topo : Topology.t;
+  shares : shares;
+  residual_loss : float;
+  handlers : (node_id, 'a recv -> unit) Hashtbl.t;
+  (* Per (sender, link, class): when the sender's slice frees up. *)
+  busy_until : (node_id * int * cls, Time.t) Hashtbl.t;
+  relay_policy : (node_id, src:node_id -> dst:node_id -> cls:cls -> bool) Hashtbl.t;
+  relay_delay : (node_id, Time.t) Hashtbl.t;
+  mutable route_avoid : node_id list;
+  loss_rng : Rng.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable relay_dropped : int;
+  mutable bytes : int;
+  by_sender : (node_id * cls, int) Hashtbl.t;
+  data_lat : Stats.Acc.t;
+  control_lat : Stats.Acc.t;
+}
+
+let create eng topo ?shares ?(residual_loss = 0.0) () =
+  let shares =
+    match shares with
+    | Some s -> s
+    | None ->
+      let worst =
+        List.fold_left
+          (fun acc (l : Topology.link) -> Stdlib.max acc (List.length l.members))
+          2 (Topology.links topo)
+      in
+      default_shares ~n_members:worst
+  in
+  List.iter
+    (fun (l : Topology.link) ->
+      let n = float_of_int (List.length l.members) in
+      if n *. (shares.data_frac +. shares.control_frac) > 1.0 +. 1e-9 then
+        invalid_arg
+          (Printf.sprintf "Net.create: link %d reservations exceed capacity"
+             l.link_id))
+    (Topology.links topo);
+  {
+    eng;
+    topo;
+    shares;
+    residual_loss;
+    handlers = Hashtbl.create 16;
+    busy_until = Hashtbl.create 64;
+    relay_policy = Hashtbl.create 8;
+    relay_delay = Hashtbl.create 8;
+    route_avoid = [];
+    loss_rng = Rng.split (Engine.rng eng);
+    sent = 0;
+    delivered = 0;
+    lost = 0;
+    relay_dropped = 0;
+    bytes = 0;
+    by_sender = Hashtbl.create 16;
+    data_lat = Stats.Acc.create ();
+    control_lat = Stats.Acc.create ();
+  }
+
+let engine t = t.eng
+let topology t = t.topo
+let set_handler t n f = Hashtbl.replace t.handlers n f
+
+let frac t = function Data -> t.shares.data_frac | Control -> t.shares.control_frac
+
+let reserved_rate t _node (link : Topology.link) cls =
+  Stdlib.max 1 (int_of_float (float_of_int link.bandwidth_bps *. frac t cls))
+
+(* Serialization time of [size] bytes at [rate] bytes/s, in µs, >= 1. *)
+let serialize_time ~size ~rate =
+  Stdlib.max 1 (size * 1_000_000 / rate)
+
+let charge_bytes t sender cls size =
+  t.bytes <- t.bytes + size;
+  let key = (sender, cls) in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.by_sender key) in
+  Hashtbl.replace t.by_sender key (prev + size)
+
+let bytes_sent_by t n cls =
+  Option.value ~default:0 (Hashtbl.find_opt t.by_sender (n, cls))
+
+let route t ~src ~dst =
+  Topology.route_avoiding t.topo ~avoid:t.route_avoid ~src ~dst
+
+(* One hop: [sender] pushes the message onto [link]; when serialization
+   and propagation complete, [k] runs at the far end. *)
+let hop t ~sender ~(link : Topology.link) ~cls ~size k =
+  let rate = reserved_rate t sender link cls in
+  let key = (sender, link.link_id, cls) in
+  let free = Option.value ~default:Time.zero (Hashtbl.find_opt t.busy_until key) in
+  let start = Time.max (Engine.now t.eng) free in
+  let departure = Time.add start (serialize_time ~size ~rate) in
+  Hashtbl.replace t.busy_until key departure;
+  charge_bytes t sender cls size;
+  let arrival = Time.add departure link.latency in
+  ignore (Engine.schedule t.eng ~at:arrival (fun _ -> k arrival))
+
+let deliver t msg =
+  t.delivered <- t.delivered + 1;
+  let lat = Time.to_sec_f (Time.sub msg.delivered_at msg.sent_at) in
+  (match msg.cls with
+  | Data -> Stats.Acc.add t.data_lat lat
+  | Control -> Stats.Acc.add t.control_lat lat);
+  match Hashtbl.find_opt t.handlers msg.dst with
+  | Some f -> f msg
+  | None -> ()
+
+let relay_allows t node ~src ~dst ~cls =
+  match Hashtbl.find_opt t.relay_policy node with
+  | None -> true
+  | Some p -> p ~src ~dst ~cls
+
+let relay_extra_delay t node =
+  Option.value ~default:Time.zero (Hashtbl.find_opt t.relay_delay node)
+
+let send t ~src ~dst ~cls ~size_bytes payload =
+  match route t ~src ~dst with
+  | None -> false
+  | Some path ->
+    t.sent <- t.sent + 1;
+    let sent_at = Engine.now t.eng in
+    let rec traverse here remaining hops =
+      match remaining with
+      | [] ->
+        let finish at =
+          deliver t
+            { src; dst; payload; size_bytes; cls; sent_at; delivered_at = at; hops }
+        in
+        if here = dst then finish (Engine.now t.eng)
+        else () (* unreachable: path exhausted away from dst *)
+      | link :: rest ->
+        let nxt = Topology.next_hop_node t.topo ~here ~link ~dst in
+        hop t ~sender:here ~link ~cls ~size:size_bytes (fun _arrival ->
+            if t.residual_loss > 0.0 && Rng.float t.loss_rng 1.0 < t.residual_loss
+            then t.lost <- t.lost + 1
+            else if nxt = dst && rest = [] then
+              deliver t
+                {
+                  src;
+                  dst;
+                  payload;
+                  size_bytes;
+                  cls;
+                  sent_at;
+                  delivered_at = Engine.now t.eng;
+                  hops = hops + 1;
+                }
+            else if not (relay_allows t nxt ~src ~dst ~cls) then
+              t.relay_dropped <- t.relay_dropped + 1
+            else begin
+              let extra = relay_extra_delay t nxt in
+              if Time.equal extra Time.zero then traverse nxt rest (hops + 1)
+              else
+                ignore
+                  (Engine.schedule_in t.eng ~delay:extra (fun _ ->
+                       traverse nxt rest (hops + 1)))
+            end)
+    in
+    if path = [] then begin
+      (* Local delivery still goes through the event queue for ordering. *)
+      ignore
+        (Engine.schedule_in t.eng ~delay:Time.zero (fun _ ->
+             deliver t
+               {
+                 src;
+                 dst;
+                 payload;
+                 size_bytes;
+                 cls;
+                 sent_at;
+                 delivered_at = Engine.now t.eng;
+                 hops = 0;
+               }));
+      true
+    end
+    else begin
+      traverse src path 0;
+      true
+    end
+
+let transfer_time t ~src ~dst ~cls ~size_bytes =
+  match route t ~src ~dst with
+  | None -> None
+  | Some path ->
+    let total =
+      List.fold_left
+        (fun acc (link : Topology.link) ->
+          let rate = reserved_rate t src link cls in
+          Time.add acc (Time.add (serialize_time ~size:size_bytes ~rate) link.latency))
+        Time.zero path
+    in
+    Some total
+
+let default_shares_for topo =
+  let worst =
+    List.fold_left
+      (fun acc (l : Topology.link) -> Stdlib.max acc (List.length l.members))
+      2 (Topology.links topo)
+  in
+  default_shares ~n_members:worst
+
+let plan_transfer_time topo ?shares ?(avoid = []) ~cls ~src ~dst ~size_bytes () =
+  let shares = match shares with Some s -> s | None -> default_shares_for topo in
+  let f = match cls with Data -> shares.data_frac | Control -> shares.control_frac in
+  match Topology.route_avoiding topo ~avoid ~src ~dst with
+  | None -> None
+  | Some path ->
+    let total =
+      List.fold_left
+        (fun acc (link : Topology.link) ->
+          let rate =
+            Stdlib.max 1 (int_of_float (float_of_int link.bandwidth_bps *. f))
+          in
+          Time.add acc
+            (Time.add (serialize_time ~size:size_bytes ~rate) link.latency))
+        Time.zero path
+    in
+    Some total
+
+let set_relay_policy t n p = Hashtbl.replace t.relay_policy n p
+let set_relay_delay t n d = Hashtbl.replace t.relay_delay n d
+let set_route_avoid t ns = t.route_avoid <- ns
+
+type stats = {
+  messages_sent : int;
+  messages_delivered : int;
+  messages_lost : int;
+  messages_dropped_by_relay : int;
+  bytes_sent : int;
+  data_latencies : float list;
+  control_latencies : float list;
+}
+
+let stats t =
+  {
+    messages_sent = t.sent;
+    messages_delivered = t.delivered;
+    messages_lost = t.lost;
+    messages_dropped_by_relay = t.relay_dropped;
+    bytes_sent = t.bytes;
+    data_latencies = Stats.Acc.values t.data_lat;
+    control_latencies = Stats.Acc.values t.control_lat;
+  }

@@ -1,0 +1,123 @@
+(** Runtime message transport over a {!Topology}, with statically
+    reserved per-sender bandwidth.
+
+    Faithful to the paper's §2.1 model: each sender owns a fixed slice
+    of every link it sits on, enforced below the node (hardware MAC), so
+    even a Byzantine "babbling idiot" can only saturate its own slice.
+    Two traffic classes exist — [Data] for workload flows and [Control]
+    for evidence/mode-change traffic — because §4.3 requires evidence
+    distribution to run on reserved resources that bound its latency
+    regardless of data load.
+
+    Transmission of a [b]-byte message on a link takes
+    [b / reserved_rate(sender, link, class)] of queueing-free time;
+    back-to-back sends queue behind one another (per sender, link and
+    class), then the link's propagation latency applies. Multi-hop
+    messages are store-and-forward relayed by intermediate nodes, each
+    relay charging its own reservation; Byzantine relays can drop or
+    delay them via the relay-policy hooks (fault injection uses this).
+
+    Losses are assumed masked by FEC (§2.1); an optional residual-loss
+    probability exercises that assumption's boundary. *)
+
+open Btr_util
+
+type node_id = Topology.node_id
+
+type cls = Data | Control
+
+val pp_cls : Format.formatter -> cls -> unit
+
+type shares = { data_frac : float; control_frac : float }
+(** Fraction of a link's raw bandwidth reserved to {e each member} per
+    class. Must satisfy [members * (data + control) <= 1] for every
+    link; {!create} checks this. *)
+
+val default_shares : n_members:int -> shares
+(** Splits 100% of the link evenly among members, 80/20 data/control. *)
+
+type 'a recv = {
+  src : node_id;
+  dst : node_id;
+  payload : 'a;
+  size_bytes : int;
+  cls : cls;
+  sent_at : Time.t;
+  delivered_at : Time.t;
+  hops : int;
+}
+
+type 'a t
+
+val create :
+  Btr_sim.Engine.t ->
+  Topology.t ->
+  ?shares:shares ->
+  ?residual_loss:float ->
+  unit ->
+  'a t
+
+val engine : 'a t -> Btr_sim.Engine.t
+val topology : 'a t -> Topology.t
+
+val set_handler : 'a t -> node_id -> ('a recv -> unit) -> unit
+(** At most one handler per node; later calls replace earlier ones. *)
+
+val send :
+  'a t -> src:node_id -> dst:node_id -> cls:cls -> size_bytes:int -> 'a -> bool
+(** Queues a message; [false] when no route exists (after
+    {!set_route_avoid}) or when src = dst handler is absent. Delivery is
+    asynchronous via the destination handler. *)
+
+val reserved_rate : 'a t -> node_id -> Topology.link -> cls -> int
+(** Bytes/second the sender owns on that link for that class. *)
+
+val transfer_time :
+  'a t -> src:node_id -> dst:node_id -> cls:cls -> size_bytes:int -> Time.t option
+(** Queueing-free end-to-end time for a message along the current route:
+    sum of per-hop serialization + propagation. The planner uses this to
+    bound state-migration and evidence-distribution times. *)
+
+val plan_transfer_time :
+  Topology.t ->
+  ?shares:shares ->
+  ?avoid:node_id list ->
+  cls:cls ->
+  src:node_id ->
+  dst:node_id ->
+  size_bytes:int ->
+  unit ->
+  Time.t option
+(** Offline variant of {!transfer_time} for the planner: computes the
+    queueing-free bound from the topology and reservation shares alone,
+    routing around [avoid] (default []), without a live network.
+    [shares] defaults as in {!create}. *)
+
+(** {1 Fault-injection hooks} *)
+
+val set_relay_policy :
+  'a t -> node_id -> (src:node_id -> dst:node_id -> cls:cls -> bool) -> unit
+(** Consulted when the node is asked to forward a transit message;
+    returning [false] silently drops it (omission by a Byzantine relay). *)
+
+val set_relay_delay : 'a t -> node_id -> Time.t -> unit
+(** Extra delay a (Byzantine) relay adds to every message it forwards. *)
+
+val set_route_avoid : 'a t -> node_id list -> unit
+(** Nodes that routing must no longer relay through (known-faulty set
+    after mode changes). Endpoints may still be faulty nodes. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  messages_sent : int;
+  messages_delivered : int;
+  messages_lost : int;
+  messages_dropped_by_relay : int;
+  bytes_sent : int;
+  data_latencies : float list;  (** seconds, delivered [Data] messages *)
+  control_latencies : float list;  (** seconds, delivered [Control] *)
+}
+
+val stats : 'a t -> stats
+val bytes_sent_by : 'a t -> node_id -> cls -> int

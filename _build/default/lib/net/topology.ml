@@ -1,0 +1,213 @@
+type node_id = int
+
+type link = {
+  link_id : int;
+  members : node_id list;
+  bandwidth_bps : int;
+  latency : Btr_util.Time.t;
+}
+
+type t = {
+  node_list : node_id list;
+  link_list : link list;
+  by_id : (int, link) Hashtbl.t;
+  by_node : (node_id, link list) Hashtbl.t;
+}
+
+let rec distinct = function
+  | [] -> true
+  | x :: rest -> (not (List.mem x rest)) && distinct rest
+
+let create ~nodes ~links =
+  if not (distinct nodes) then invalid_arg "Topology.create: duplicate node ids";
+  if not (distinct (List.map (fun l -> l.link_id) links)) then
+    invalid_arg "Topology.create: duplicate link ids";
+  let check_link l =
+    if List.length l.members < 2 then
+      invalid_arg (Printf.sprintf "Topology.create: link %d has < 2 members" l.link_id);
+    if not (distinct l.members) then
+      invalid_arg (Printf.sprintf "Topology.create: link %d repeats a member" l.link_id);
+    if l.bandwidth_bps <= 0 then
+      invalid_arg (Printf.sprintf "Topology.create: link %d bandwidth <= 0" l.link_id);
+    List.iter
+      (fun m ->
+        if not (List.mem m nodes) then
+          invalid_arg
+            (Printf.sprintf "Topology.create: link %d member %d is not a node"
+               l.link_id m))
+      l.members
+  in
+  List.iter check_link links;
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace by_id l.link_id l) links;
+  let by_node = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace by_node n []) nodes;
+  List.iter
+    (fun l ->
+      List.iter
+        (fun m -> Hashtbl.replace by_node m (l :: Hashtbl.find by_node m))
+        l.members)
+    links;
+  (* Keep per-node link lists in ascending link id for determinism. *)
+  List.iter
+    (fun n ->
+      let ls = Hashtbl.find by_node n in
+      Hashtbl.replace by_node n
+        (List.sort (fun a b -> Int.compare a.link_id b.link_id) ls))
+    nodes;
+  { node_list = nodes; link_list = links; by_id; by_node }
+
+let nodes t = t.node_list
+let links t = t.link_list
+let node_count t = List.length t.node_list
+
+let find_link t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Topology.find_link: no link %d" id)
+
+let links_of_node t n =
+  match Hashtbl.find_opt t.by_node n with Some ls -> ls | None -> []
+
+let neighbors t n =
+  let out =
+    List.concat_map
+      (fun l -> List.filter (fun m -> m <> n) l.members)
+      (links_of_node t n)
+  in
+  List.sort_uniq Int.compare out
+
+let share_link t a b =
+  let shared =
+    List.filter (fun l -> List.mem b l.members) (links_of_node t a)
+  in
+  match shared with
+  | [] -> None
+  | ls ->
+    Some
+      (List.fold_left
+         (fun best l -> if l.bandwidth_bps > best.bandwidth_bps then l else best)
+         (List.hd ls) (List.tl ls))
+
+(* BFS over nodes where an edge (a -> b) exists when a link contains both
+   and relaying through intermediate nodes is allowed by [usable]. *)
+let route_gen t ~usable ~src ~dst =
+  if src = dst then Some []
+  else begin
+    let prev : (node_id, node_id * link) Hashtbl.t = Hashtbl.create 16 in
+    let visited = Hashtbl.create 16 in
+    Hashtbl.replace visited src ();
+    let q = Queue.create () in
+    Queue.push src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let here = Queue.pop q in
+      let expand l =
+        List.iter
+          (fun m ->
+            if m <> here && not (Hashtbl.mem visited m) && (m = dst || usable m)
+            then begin
+              Hashtbl.replace visited m ();
+              Hashtbl.replace prev m (here, l);
+              if m = dst then found := true else Queue.push m q
+            end)
+          l.members
+      in
+      List.iter expand (links_of_node t here)
+    done;
+    if not !found then None
+    else begin
+      let rec rebuild acc n =
+        if n = src then acc
+        else
+          let p, l = Hashtbl.find prev n in
+          rebuild (l :: acc) p
+      in
+      Some (rebuild [] dst)
+    end
+  end
+
+let route t ~src ~dst = route_gen t ~usable:(fun _ -> true) ~src ~dst
+
+let route_avoiding t ~avoid ~src ~dst =
+  route_gen t ~usable:(fun n -> not (List.mem n avoid)) ~src ~dst
+
+let next_hop_node t ~here ~link ~dst =
+  if List.mem dst link.members then dst
+  else begin
+    (* Pick the member (other than [here]) that is nearest to [dst];
+       deterministic because members are listed in a fixed order. *)
+    let candidates = List.filter (fun m -> m <> here) link.members in
+    let dist n =
+      match route t ~src:n ~dst with
+      | Some path -> List.length path
+      | None -> max_int
+    in
+    match candidates with
+    | [] -> invalid_arg "Topology.next_hop_node: degenerate link"
+    | c :: cs -> List.fold_left (fun best m -> if dist m < dist best then m else best) c cs
+  end
+
+let connected_without t broken =
+  let alive = List.filter (fun n -> not (List.mem n broken)) t.node_list in
+  match alive with
+  | [] -> true
+  | first :: _ ->
+    let ok = ref true in
+    List.iter
+      (fun n ->
+        if
+          route_gen t
+            ~usable:(fun m -> not (List.mem m broken))
+            ~src:first ~dst:n
+          = None
+        then ok := false)
+      alive;
+    !ok
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>topology: %d nodes, %d links@," (node_count t)
+    (List.length t.link_list);
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  link %d: members=[%s] bw=%dB/s lat=%a@," l.link_id
+        (String.concat "," (List.map string_of_int l.members))
+        l.bandwidth_bps Btr_util.Time.pp l.latency)
+    t.link_list;
+  Format.fprintf ppf "@]"
+
+let fully_connected ~n ~bandwidth_bps ~latency =
+  let nodes = List.init n Fun.id in
+  let links = ref [] in
+  let id = ref 0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      links := { link_id = !id; members = [ a; b ]; bandwidth_bps; latency } :: !links;
+      incr id
+    done
+  done;
+  create ~nodes ~links:(List.rev !links)
+
+let ring ~n ~bandwidth_bps ~latency =
+  let nodes = List.init n Fun.id in
+  let links =
+    List.init n (fun i ->
+        { link_id = i; members = [ i; (i + 1) mod n ]; bandwidth_bps; latency })
+  in
+  create ~nodes ~links
+
+let star ~n ~hub ~bandwidth_bps ~latency =
+  let nodes = List.init n Fun.id in
+  let spokes = List.filter (fun i -> i <> hub) nodes in
+  let links =
+    List.mapi
+      (fun idx spoke ->
+        { link_id = idx; members = [ hub; spoke ]; bandwidth_bps; latency })
+      spokes
+  in
+  create ~nodes ~links
+
+let dual_bus ~n ~bandwidth_bps ~latency =
+  let nodes = List.init n Fun.id in
+  let bus id = { link_id = id; members = nodes; bandwidth_bps; latency } in
+  create ~nodes ~links:[ bus 0; bus 1 ]

@@ -1,0 +1,1 @@
+lib/planner/augment.ml: Btr_util Btr_workload Fun Hashtbl Int List Printf Stdlib Time

@@ -1,0 +1,1 @@
+lib/planner/augment.mli: Btr_util Btr_workload Time

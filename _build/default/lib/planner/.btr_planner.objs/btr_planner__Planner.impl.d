@@ -1,0 +1,1 @@
+lib/planner/planner.ml: Augment Btr_net Btr_sched Btr_util Btr_workload Format Fun Hashtbl Int List Option Printf Stdlib String Sys Time

@@ -1,0 +1,1 @@
+lib/planner/planner.mli: Augment Btr_net Btr_sched Btr_util Btr_workload Format Time

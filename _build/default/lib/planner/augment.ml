@@ -1,0 +1,197 @@
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+
+type role =
+  | Original
+  | Replica of { orig : Task.id; lane : int }
+  | Checker of { orig : Task.id }
+  | Guard of { node : int }
+
+type t = {
+  graph : Graph.t;
+  original : Graph.t;
+  degree : int;
+  roles : (Task.id * role) list;
+  flow_origin : (int * (int * int)) list;  (* aug flow -> (orig flow, lane) *)
+}
+
+let role_of t id =
+  match List.assoc_opt id t.roles with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Augment.role_of: unknown task %d" id)
+
+let orig_of t id =
+  match role_of t id with
+  | Original -> id
+  | Replica { orig; _ } | Checker { orig } -> orig
+  | Guard _ -> id
+
+let lane_of t id =
+  match role_of t id with Replica { lane; _ } -> lane | Original | Checker _ | Guard _ -> 0
+
+let replicas_of t orig =
+  let lanes =
+    List.filter_map
+      (fun (id, role) ->
+        match role with
+        | Replica { orig = o; lane } when o = orig -> Some (lane, id)
+        | Replica _ | Original | Checker _ | Guard _ -> None)
+      t.roles
+  in
+  match lanes with
+  | [] -> [ orig ]
+  | _ -> List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) lanes)
+
+let checker_of t orig =
+  List.find_map
+    (fun (id, role) ->
+      match role with
+      | Checker { orig = o } when o = orig -> Some id
+      | Checker _ | Original | Replica _ | Guard _ -> None)
+    t.roles
+
+let checkers t =
+  List.filter_map
+    (fun (id, role) ->
+      match role with Checker _ -> Some id | Original | Replica _ | Guard _ -> None)
+    t.roles
+
+let guards t =
+  List.filter_map
+    (fun (id, role) ->
+      match role with Guard { node } -> Some (id, node) | Original | Replica _ | Checker _ -> None)
+    t.roles
+
+let is_protected t orig =
+  match replicas_of t orig with [ single ] -> single <> orig | _ -> true
+
+let orig_flow_of t fid = List.assoc_opt fid t.flow_origin
+
+let digest_flow_ids t =
+  List.filter_map
+    (fun (f : Graph.flow) ->
+      match role_of t f.consumer with
+      | Checker _ -> Some f.flow_id
+      | Original | Replica _ | Guard _ -> None)
+    (Graph.flows t.graph)
+
+let primary_sink_flows t =
+  List.filter_map
+    (fun (f : Graph.flow) ->
+      let consumer_is_sink =
+        (Graph.task t.graph f.consumer).Task.kind = Task.Sink
+      in
+      if consumer_is_sink && lane_of t f.producer = 0 then Some f.flow_id else None)
+    (Graph.flows t.graph)
+
+let augment g ~nodes ~degree ~protect_level ~checker_overhead ~guard_wcet
+    ~digest_size =
+  if degree < 1 then invalid_arg "Augment.augment: degree < 1";
+  let next_task = ref (1 + List.fold_left (fun m (x : Task.t) -> Stdlib.max m x.id) 0 (Graph.tasks g)) in
+  let next_flow =
+    ref (1 + List.fold_left (fun m (f : Graph.flow) -> Stdlib.max m f.flow_id) 0 (Graph.flows g))
+  in
+  let fresh_task () =
+    let id = !next_task in
+    incr next_task;
+    id
+  in
+  let fresh_flow () =
+    let id = !next_flow in
+    incr next_flow;
+    id
+  in
+  let protect (x : Task.t) =
+    x.kind = Task.Compute
+    && Task.compare_criticality x.criticality protect_level >= 0
+  in
+  (* lane_ids.(orig) = augmented id per lane; unprotected map to self. *)
+  let lane_id : (Task.id * int, Task.id) Hashtbl.t = Hashtbl.create 64 in
+  let roles = ref [] in
+  let tasks = ref [] in
+  let add_task x role =
+    tasks := x :: !tasks;
+    roles := (x.Task.id, role) :: !roles
+  in
+  List.iter
+    (fun (x : Task.t) ->
+      if protect x then
+        for lane = 0 to degree - 1 do
+          let id = if lane = 0 then x.id else fresh_task () in
+          let name = Printf.sprintf "%s#%d" x.name lane in
+          add_task { x with Task.id; name } (Replica { orig = x.id; lane });
+          Hashtbl.replace lane_id (x.id, lane) id
+        done
+      else begin
+        add_task x Original;
+        for lane = 0 to degree - 1 do
+          Hashtbl.replace lane_id (x.id, lane) x.id
+        done
+      end)
+    (Graph.tasks g);
+  (* Flows: lane-wise wiring. A flow between two tasks becomes one flow
+     per lane between the corresponding lane instances; where an
+     endpoint is unreplicated all lanes share it, and duplicate edges
+     (unreplicated -> unreplicated) collapse back to one flow. Sinks
+     thus receive every lane's copy and can fall back to a backup lane
+     within the same period. *)
+  let flows = ref [] in
+  let flow_origin = ref [] in
+  let seen_pairs = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Graph.flow) ->
+      List.iter
+        (fun lane ->
+          let p = Hashtbl.find lane_id (f.producer, lane) in
+          (* Sinks are unreplicated, so every lane's copy converges on
+             the one sink task; other consumers stay lane-local. *)
+          let c = Hashtbl.find lane_id (f.consumer, lane) in
+          if not (Hashtbl.mem seen_pairs (p, c, f.flow_id)) then begin
+            Hashtbl.replace seen_pairs (p, c, f.flow_id) ();
+            let flow_id = if lane = 0 then f.flow_id else fresh_flow () in
+            flows := { f with Graph.flow_id; producer = p; consumer = c } :: !flows;
+            flow_origin := (flow_id, (f.flow_id, lane)) :: !flow_origin
+          end)
+        (List.init degree Fun.id))
+    (Graph.flows g);
+  (* Checkers: one per protected task, fed a digest from every lane. *)
+  List.iter
+    (fun (x : Task.t) ->
+      if protect x then begin
+        let cid = fresh_task () in
+        add_task
+          (Task.make ~id:cid
+             ~name:(Printf.sprintf "check:%s" x.name)
+             ~wcet:(Time.add x.wcet checker_overhead) ~criticality:x.criticality
+             ())
+          (Checker { orig = x.id });
+        for lane = 0 to degree - 1 do
+          let p = Hashtbl.find lane_id (x.id, lane) in
+          flows :=
+            {
+              Graph.flow_id = fresh_flow ();
+              producer = p;
+              consumer = cid;
+              msg_size = digest_size;
+              deadline = None;
+            }
+            :: !flows
+        done
+      end)
+    (Graph.tasks g);
+  (* Guards: per-node evidence-verification CPU reserve, pinned. *)
+  List.iter
+    (fun node ->
+      let gid = fresh_task () in
+      add_task
+        (Task.make ~id:gid
+           ~name:(Printf.sprintf "guard:n%d" node)
+           ~wcet:guard_wcet ~criticality:Task.Safety_critical ~pinned:node ())
+        (Guard { node }))
+    nodes;
+  let graph =
+    Graph.create_relaxed ~period:(Graph.period g) ~tasks:(List.rev !tasks)
+      ~flows:(List.rev !flows)
+  in
+  { graph; original = g; degree; roles = List.rev !roles; flow_origin = List.rev !flow_origin }

@@ -1,0 +1,434 @@
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Schedule = Btr_sched.Schedule
+module Topology = Btr_net.Topology
+module Net = Btr_net.Net
+
+type reassignment = Minimal | Naive
+
+type config = {
+  f : int;
+  recovery_bound : Time.t;
+  protect_level : Task.criticality;
+  degree : int;
+  checker_overhead : Time.t;
+  guard_wcet : Time.t;
+  digest_size : int;
+  evidence_size : int;
+  detection_margin : Time.t;
+  reassignment : reassignment;
+  shares : Net.shares option;
+}
+
+let default_config ~f ~recovery_bound =
+  {
+    f;
+    recovery_bound;
+    protect_level = Task.Medium;
+    degree = f + 1;
+    checker_overhead = Time.us 100;
+    guard_wcet = Time.us 200;
+    digest_size = 32;
+    evidence_size = 160;
+    detection_margin = Time.ms 1;
+    reassignment = Minimal;
+    shares = None;
+  }
+
+type plan = {
+  faulty : int list;
+  aug : Augment.t;
+  assignment : (Task.id * int) list;
+  schedule : Schedule.t;
+  shed_below : Task.criticality option;
+  lost_tasks : Task.id list;
+}
+
+let assignment_of plan tid = List.assoc_opt tid plan.assignment
+
+type transition = {
+  from_faulty : int list;
+  new_fault : int;
+  to_faulty : int list;
+  moved : (Task.id * int * int) list;
+  started : Task.id list;
+  stopped : Task.id list;
+  state_bytes : int;
+  migration_bound : Time.t;
+  recovery_bound : Time.t;
+}
+
+type stats = {
+  modes : int;
+  transitions : int;
+  planning_seconds : float;
+  worst_recovery : Time.t;
+  total_moved_state : int;
+}
+
+type t = {
+  config : config;
+  workload : Graph.t;
+  topology : Topology.t;
+  plans : (string, plan) Hashtbl.t;
+  transitions : (string * int, transition) Hashtbl.t;
+  stats : stats;
+}
+
+type error =
+  | Unschedulable of { faulty : int list; reason : string }
+  | Disconnected of { faulty : int list }
+  | Bad_config of string
+
+let pp_fault_set ppf fs =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int fs))
+
+let pp_error ppf = function
+  | Unschedulable { faulty; reason } ->
+    Format.fprintf ppf "mode %a unschedulable: %s" pp_fault_set faulty reason
+  | Disconnected { faulty } ->
+    Format.fprintf ppf "mode %a disconnects the surviving nodes" pp_fault_set faulty
+  | Bad_config msg -> Format.fprintf ppf "bad config: %s" msg
+
+let key faulty = String.concat "," (List.map string_of_int (List.sort_uniq Int.compare faulty))
+
+let xfer_of cfg topo ~faulty ~cls ~src ~dst ~size_bytes =
+  Net.plan_transfer_time topo ?shares:cfg.shares ~avoid:faulty ~cls ~src ~dst
+    ~size_bytes ()
+
+(* Every ≤ f sized subset of nodes, smallest first so parents precede
+   children in Minimal mode. *)
+let fault_patterns nodes f =
+  let rec subsets k = function
+    | _ when k = 0 -> [ [] ]
+    | [] -> []
+    | x :: rest -> List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+  in
+  List.concat_map (fun k -> List.map (List.sort Int.compare) (subsets k nodes))
+    (List.init (f + 1) Fun.id)
+
+(* Greedy placement of the augmented graph onto the alive nodes. *)
+let place_tasks cfg topo aug ~alive ~faulty ~parent =
+  let g = aug.Augment.graph in
+  let assignment : (Task.id, int) Hashtbl.t = Hashtbl.create 64 in
+  let busy : (int, Time.t) Hashtbl.t = Hashtbl.create 16 in
+  let busy_of n = Option.value ~default:Time.zero (Hashtbl.find_opt busy n) in
+  let lanes_on_node orig n =
+    List.exists
+      (fun l -> Hashtbl.find_opt assignment l = Some n)
+      (Augment.replicas_of aug orig)
+  in
+  let parent_node tid =
+    match parent with
+    | Some p when cfg.reassignment = Minimal -> assignment_of p tid
+    | _ -> None
+  in
+  let locality_cost tid n =
+    List.fold_left
+      (fun acc (fl : Graph.flow) ->
+        match Hashtbl.find_opt assignment fl.producer with
+        | None -> acc
+        | Some pn ->
+          if pn = n then acc
+          else
+            acc
+            + Option.value ~default:1_000_000
+                (xfer_of cfg topo ~faulty ~cls:Net.Data ~src:pn ~dst:n
+                   ~size_bytes:fl.msg_size))
+      0 (Graph.producers_of g tid)
+  in
+  let cost tid n =
+    let task = Graph.task g tid in
+    let sep_penalty =
+      match Augment.role_of aug tid with
+      | Augment.Replica { orig; _ } ->
+        (* Hard: two lanes of one task must not share a node. *)
+        if lanes_on_node orig n then Some `Forbidden else None
+      | Augment.Checker { orig } ->
+        (* Soft but heavy: the checker should not sit with a lane it
+           checks, or a faulty node could silence its own accuser. *)
+        if lanes_on_node orig n then Some `Heavy else None
+      | Augment.Original | Augment.Guard _ -> None
+    in
+    match sep_penalty with
+    | Some `Forbidden -> None
+    | pen ->
+      let base =
+        locality_cost tid n
+        + (busy_of n / 2)
+        + (if parent_node tid = Some n then -50_000 else 0)
+        + (match pen with Some `Heavy -> 500_000 | _ -> 0)
+      in
+      ignore task;
+      Some base
+  in
+  let exception Stuck of Task.id in
+  try
+    List.iter
+      (fun tid ->
+        let task = Graph.task g tid in
+        let node =
+          match task.Task.pinned with
+          | Some n -> if List.mem n alive then n else raise (Stuck tid)
+          | None ->
+            let best =
+              List.fold_left
+                (fun best n ->
+                  match cost tid n with
+                  | None -> best
+                  | Some c -> (
+                    match best with
+                    | Some (_, bc) when bc <= c -> best
+                    | _ -> Some (n, c)))
+                None alive
+            in
+            (match best with Some (n, _) -> n | None -> raise (Stuck tid))
+        in
+        Hashtbl.replace assignment tid node;
+        Hashtbl.replace busy node (Time.add (busy_of node) task.Task.wcet))
+      (Graph.topo_order g);
+    Ok
+      (List.map
+         (fun (x : Task.t) -> (x.id, Hashtbl.find assignment x.id))
+         (Graph.tasks g))
+  with Stuck tid -> Error (Printf.sprintf "no feasible node for task %d" tid)
+
+(* One mode: shed criticality levels from the bottom until schedulable. *)
+let plan_mode cfg workload topo ~faulty ~parent =
+  let alive =
+    List.filter (fun n -> not (List.mem n faulty)) (Topology.nodes topo)
+  in
+  let lost_tasks =
+    List.filter_map
+      (fun (x : Task.t) ->
+        match x.pinned with
+        | Some n when List.mem n faulty -> Some x.id
+        | _ -> None)
+      (Graph.tasks workload)
+  in
+  let attempt floor =
+    let keep (x : Task.t) =
+      Task.compare_criticality x.criticality floor >= 0
+      && not (List.mem x.id lost_tasks)
+    in
+    let kept = Graph.restrict workload ~keep in
+    let aug =
+      Augment.augment kept ~nodes:alive ~degree:cfg.degree
+        ~protect_level:cfg.protect_level ~checker_overhead:cfg.checker_overhead
+        ~guard_wcet:cfg.guard_wcet ~digest_size:cfg.digest_size
+    in
+    match place_tasks cfg topo aug ~alive ~faulty ~parent with
+    | Error reason -> Error reason
+    | Ok assignment ->
+      let place tid = List.assoc tid assignment in
+      let xfer ~src ~dst ~size_bytes =
+        if src = dst then Some Time.zero
+        else xfer_of cfg topo ~faulty ~cls:Net.Data ~src ~dst ~size_bytes
+      in
+      (match Schedule.list_schedule aug.Augment.graph ~place ~xfer with
+      | Ok schedule ->
+        Ok
+          {
+            faulty;
+            aug;
+            assignment;
+            schedule;
+            shed_below = (if floor = Task.Best_effort then None else Some floor);
+            lost_tasks;
+          }
+      | Error failure ->
+        Error (Format.asprintf "%a" Schedule.pp_failure failure))
+  in
+  let rec try_floors last_err = function
+    | [] ->
+      Error
+        (Unschedulable
+           { faulty; reason = Option.value ~default:"no tasks left" last_err })
+    | floor :: rest -> (
+      match attempt floor with
+      | Ok plan -> Ok plan
+      | Error reason -> try_floors (Some reason) rest)
+  in
+  try_floors None Task.all_criticalities
+
+(* Bounded evidence-distribution latency in the new mode: worst-case
+   pairwise control-class transfer among surviving nodes. *)
+let evidence_bound cfg topo ~faulty =
+  let alive = List.filter (fun n -> not (List.mem n faulty)) (Topology.nodes topo) in
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc b ->
+          if a = b then acc
+          else
+            match
+              xfer_of cfg topo ~faulty ~cls:Net.Control ~src:a ~dst:b
+                ~size_bytes:cfg.evidence_size
+            with
+            | Some d -> Time.max acc d
+            | None -> acc)
+        acc alive)
+    Time.zero alive
+
+let make_transition cfg topo ~from_plan ~to_plan ~new_fault =
+  let faulty = to_plan.faulty in
+  let assigned p = p.assignment in
+  let from_assign = assigned from_plan and to_assign = assigned to_plan in
+  let moved =
+    List.filter_map
+      (fun (tid, to_node) ->
+        match List.assoc_opt tid from_assign with
+        | Some from_node when from_node <> to_node -> Some (tid, from_node, to_node)
+        | _ -> None)
+      to_assign
+  in
+  let started =
+    List.filter_map
+      (fun (tid, _) ->
+        if List.mem_assoc tid from_assign then None else Some tid)
+      to_assign
+  in
+  let stopped =
+    List.filter_map
+      (fun (tid, _) -> if List.mem_assoc tid to_assign then None else Some tid)
+      from_assign
+  in
+  let g = to_plan.aug.Augment.graph in
+  let state_of tid =
+    match Graph.task g tid with
+    | x -> x.Task.state_size
+    | exception Invalid_argument _ -> 0
+  in
+  (* State moves only from surviving nodes; a faulty node's state is
+     lost and the task restarts fresh. Transfers from one sender
+     serialize on its control reservation, so the bound is the largest
+     per-sender total. *)
+  let migrations =
+    List.filter (fun (_, from_node, _) -> not (List.mem from_node faulty)) moved
+  in
+  let state_bytes = List.fold_left (fun acc (tid, _, _) -> acc + state_of tid) 0 migrations in
+  let senders = List.sort_uniq Int.compare (List.map (fun (_, f, _) -> f) migrations) in
+  let migration_bound =
+    List.fold_left
+      (fun acc sender ->
+        let total =
+          List.fold_left
+            (fun acc (tid, from_node, to_node) ->
+              if from_node <> sender then acc
+              else
+                match
+                  xfer_of cfg topo ~faulty ~cls:Net.Control ~src:from_node
+                    ~dst:to_node ~size_bytes:(Stdlib.max 1 (state_of tid))
+                with
+                | Some d -> Time.add acc d
+                | None -> acc)
+            Time.zero migrations
+        in
+        Time.max acc total)
+      Time.zero senders
+  in
+  let period = Graph.period g in
+  let recovery_bound =
+    Time.add
+      (Time.add (Time.add period cfg.detection_margin) (evidence_bound cfg topo ~faulty))
+      (Time.add migration_bound period)
+  in
+  {
+    from_faulty = from_plan.faulty;
+    new_fault;
+    to_faulty = faulty;
+    moved;
+    started;
+    stopped;
+    state_bytes;
+    migration_bound;
+    recovery_bound;
+  }
+
+let build cfg workload topo =
+  let n = Topology.node_count topo in
+  if cfg.f < 0 then Error (Bad_config "f < 0")
+  else if cfg.degree < 1 then Error (Bad_config "degree < 1")
+  else if cfg.degree > n - cfg.f then
+    Error
+      (Bad_config
+         (Printf.sprintf "degree %d > surviving nodes %d: lanes cannot be separated"
+            cfg.degree (n - cfg.f)))
+  else begin
+    let started_at = Sys.time () in
+    let plans = Hashtbl.create 64 in
+    let transitions = Hashtbl.create 64 in
+    let exception Failed of error in
+    try
+      List.iter
+        (fun faulty ->
+          if not (Topology.connected_without topo faulty) then
+            raise (Failed (Disconnected { faulty }));
+          let parent =
+            match List.rev faulty with
+            | [] -> None
+            | _ :: rest_rev -> Hashtbl.find_opt plans (key (List.rev rest_rev))
+          in
+          match plan_mode cfg workload topo ~faulty ~parent with
+          | Error e -> raise (Failed e)
+          | Ok plan ->
+            Hashtbl.replace plans (key faulty) plan;
+            (* A transition into this mode exists from every parent. *)
+            List.iter
+              (fun y ->
+                let from_faulty = List.filter (fun x -> x <> y) faulty in
+                match Hashtbl.find_opt plans (key from_faulty) with
+                | None -> ()
+                | Some from_plan ->
+                  let tr =
+                    make_transition cfg topo ~from_plan ~to_plan:plan ~new_fault:y
+                  in
+                  Hashtbl.replace transitions (key from_faulty, y) tr)
+              faulty)
+        (fault_patterns (Topology.nodes topo) cfg.f);
+      let worst_recovery =
+        Hashtbl.fold (fun _ tr acc -> Time.max acc tr.recovery_bound) transitions
+          Time.zero
+      in
+      let total_moved_state =
+        Hashtbl.fold (fun _ tr acc -> acc + tr.state_bytes) transitions 0
+      in
+      Ok
+        {
+          config = cfg;
+          workload;
+          topology = topo;
+          plans;
+          transitions;
+          stats =
+            {
+              modes = Hashtbl.length plans;
+              transitions = Hashtbl.length transitions;
+              planning_seconds = Sys.time () -. started_at;
+              worst_recovery;
+              total_moved_state;
+            };
+        }
+    with Failed e -> Error e
+  end
+
+let config t = t.config
+let workload t = t.workload
+let topology t = t.topology
+let stats t = t.stats
+let plan_for t ~faulty = Hashtbl.find_opt t.plans (key faulty)
+
+let initial_plan t =
+  match plan_for t ~faulty:[] with
+  | Some p -> p
+  | None -> invalid_arg "Planner.initial_plan: strategy has no fault-free plan"
+
+let transition_for t ~from_faulty ~new_fault =
+  Hashtbl.find_opt t.transitions (key from_faulty, new_fault)
+
+let all_plans t = Hashtbl.fold (fun _ p acc -> p :: acc) t.plans []
+let all_transitions t = Hashtbl.fold (fun _ tr acc -> tr :: acc) t.transitions []
+
+let admitted t =
+  Time.compare t.stats.worst_recovery t.config.recovery_bound <= 0

@@ -1,0 +1,124 @@
+(** The offline planner (paper §4.1).
+
+    Before the system runs, the planner computes a {e strategy}: one
+    {e plan} (a distributed schedule) per anticipated fault pattern —
+    every subset of at most [f] nodes — plus the mode {e transitions}
+    between them. The strategy is installed in every node so that, at
+    runtime, valid evidence of a fault deterministically selects the
+    next plan with no online (re)scheduling and no central scheduler to
+    attack.
+
+    For each mode the planner:
+    + drops tasks pinned to faulty nodes (their sensors/actuators are
+      physically gone) and guards of faulty nodes;
+    + places the augmented tasks on the surviving nodes under hard
+      constraints — no two lanes of the same task on one node, a
+      checker never co-located with a lane it checks — using locality
+      and load-balance heuristics, preferring to keep the parent mode's
+      assignment (minimal reassignment, so transitions move little
+      state);
+    + derives the static schedule; if unschedulable, sheds the lowest
+      criticality level present and retries (mixed-criticality
+      degradation, §1);
+    + costs every transition into the mode (state to migrate, bounded
+      transfer time) and derives a recovery-time bound, which is
+      admitted against the requested R.
+
+    The recovery bound for a transition decomposes exactly as the
+    paper's architecture does: detection (≤ one period + margin, the
+    checker runs every period) + evidence distribution (bounded by the
+    reserved control bandwidth) + state migration + activation at the
+    next period boundary. *)
+
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Schedule = Btr_sched.Schedule
+module Topology = Btr_net.Topology
+module Net = Btr_net.Net
+
+type reassignment = Minimal | Naive
+
+type config = {
+  f : int;  (** fault bound: plans exist for every ≤ f node subset *)
+  recovery_bound : Time.t;  (** requested R *)
+  protect_level : Task.criticality;  (** replicate at or above this *)
+  degree : int;  (** replica lanes per protected task; use [f + 1] *)
+  checker_overhead : Time.t;
+  guard_wcet : Time.t;
+  digest_size : int;
+  evidence_size : int;
+  detection_margin : Time.t;  (** watchdog slack beyond the schedule *)
+  reassignment : reassignment;
+  shares : Net.shares option;  (** must match the runtime network *)
+}
+
+val default_config : f:int -> recovery_bound:Time.t -> config
+(** degree = f+1, protect Medium and above, 100µs checker overhead,
+    200µs guards, 32B digests, 160B evidence, 1ms margin, Minimal. *)
+
+type plan = {
+  faulty : int list;  (** this mode's fault pattern, sorted *)
+  aug : Augment.t;  (** augmented workload actually running *)
+  assignment : (Task.id * int) list;
+  schedule : Schedule.t;
+  shed_below : Task.criticality option;
+      (** tasks strictly below this level were shed; [None] = nothing *)
+  lost_tasks : Task.id list;
+      (** original pinned tasks lost with their faulty node *)
+}
+
+val assignment_of : plan -> Task.id -> int option
+
+type transition = {
+  from_faulty : int list;
+  new_fault : int;
+  to_faulty : int list;
+  moved : (Task.id * int * int) list;  (** augmented task, from, to *)
+  started : Task.id list;  (** newly running (previously shed/absent) *)
+  stopped : Task.id list;
+  state_bytes : int;  (** migrated from surviving nodes *)
+  migration_bound : Time.t;
+  recovery_bound : Time.t;
+      (** detection + distribution + migration + activation *)
+}
+
+type stats = {
+  modes : int;
+  transitions : int;
+  planning_seconds : float;
+  worst_recovery : Time.t;
+  total_moved_state : int;
+}
+
+type t
+
+type error =
+  | Unschedulable of { faulty : int list; reason : string }
+      (** even the highest-criticality-only workload does not fit *)
+  | Disconnected of { faulty : int list }
+  | Bad_config of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val build : config -> Graph.t -> Topology.t -> (t, error) result
+
+val config : t -> config
+val workload : t -> Graph.t
+val topology : t -> Topology.t
+val stats : t -> stats
+
+val plan_for : t -> faulty:int list -> plan option
+(** The plan for a fault pattern (order-insensitive); [None] if
+    |faulty| > f or an unknown node is named. *)
+
+val initial_plan : t -> plan
+(** The fault-free mode. *)
+
+val transition_for : t -> from_faulty:int list -> new_fault:int -> transition option
+
+val all_plans : t -> plan list
+val all_transitions : t -> transition list
+
+val admitted : t -> bool
+(** Whether every transition's recovery bound is within [recovery_bound]. *)

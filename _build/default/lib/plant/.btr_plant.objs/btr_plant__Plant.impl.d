@@ -1,0 +1,1 @@
+lib/plant/plant.ml: Array Btr_util Float Stdlib Time

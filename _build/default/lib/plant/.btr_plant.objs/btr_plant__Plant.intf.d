@@ -1,0 +1,1 @@
+lib/plant/plant.mli: Btr_util Time

@@ -1,0 +1,1 @@
+lib/sched/analysis.ml: Array Btr_util Hashtbl List Option Time

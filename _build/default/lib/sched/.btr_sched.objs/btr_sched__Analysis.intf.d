@@ -1,0 +1,1 @@
+lib/sched/analysis.mli: Btr_util Time

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Btr_util Btr_workload Format Hashtbl Int List Option String Time

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Btr_util Btr_workload Format Time

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Btr_util Int List Pheap Printf Rng Time

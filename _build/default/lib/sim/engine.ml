@@ -1,0 +1,107 @@
+open Btr_util
+
+type event = { at : Time.t; seq : int; fire : unit -> unit; cancelled : bool ref }
+
+module Eq = Pheap.Make (struct
+  type t = event
+
+  let compare a b =
+    match Time.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
+end)
+
+type t = {
+  mutable clock : Time.t;
+  mutable queue : Eq.t;
+  mutable next_seq : int;
+  mutable processed : int;
+  rng : Rng.t;
+  mutable tracing : bool;
+  mutable rev_traces : (Time.t * string * string) list;
+}
+
+type handle = bool ref
+
+let create ?(seed = 1) () =
+  {
+    clock = Time.zero;
+    queue = Eq.empty;
+    next_seq = 0;
+    processed = 0;
+    rng = Rng.create seed;
+    tracing = false;
+    rev_traces = [];
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let push t ~at fire =
+  let cancelled = ref false in
+  t.queue <- Eq.insert { at; seq = t.next_seq; fire; cancelled } t.queue;
+  t.next_seq <- t.next_seq + 1;
+  cancelled
+
+let schedule t ~at f =
+  if Time.compare at t.clock < 0 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%s is before now=%s"
+         (Time.to_string at) (Time.to_string t.clock));
+  push t ~at (fun () -> f t)
+
+let schedule_in t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule_in: negative delay";
+  schedule t ~at:(Time.add t.clock delay) f
+
+let every t ~period ?start f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let start =
+    match start with Some s -> s | None -> Time.add t.clock period
+  in
+  let stopped = ref false in
+  let rec arm at =
+    let h =
+      push t ~at (fun () ->
+          if not !stopped then begin
+            f t;
+            arm (Time.add at period)
+          end)
+    in
+    (* Individual firings share the outer [stopped] flag; the per-event
+       cancel flag is unused for periodic events. *)
+    ignore h
+  in
+  arm start;
+  stopped
+
+let cancel h = h := true
+
+let step t =
+  match Eq.delete_min t.queue with
+  | None -> false
+  | Some (ev, rest) ->
+    t.queue <- rest;
+    t.clock <- ev.at;
+    if not !(ev.cancelled) then begin
+      t.processed <- t.processed + 1;
+      ev.fire ()
+    end;
+    true
+
+let run ?(until = Time.infinity) t =
+  let rec loop () =
+    match Eq.find_min t.queue with
+    | None -> ()
+    | Some ev ->
+      if Time.compare ev.at until > 0 then ()
+      else if step t then loop ()
+  in
+  loop ()
+
+let events_processed t = t.processed
+let pending t = Eq.size t.queue
+
+let trace t subsystem msg =
+  if t.tracing then t.rev_traces <- (t.clock, subsystem, msg) :: t.rev_traces
+
+let set_tracing t b = t.tracing <- b
+let traces t = List.rev t.rev_traces

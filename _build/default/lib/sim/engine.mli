@@ -1,0 +1,54 @@
+(** Deterministic discrete-event simulation engine.
+
+    Drives everything in this repository: the network, node schedulers,
+    plants, fault injection and the BTR runtime all execute as events on
+    one engine. Execution order is total and reproducible: events fire
+    in (time, insertion sequence) order, and all randomness flows from
+    the engine's seeded {!Btr_util.Rng.t}. *)
+
+open Btr_util
+
+type t
+
+type handle
+(** A scheduled event that can be cancelled before it fires. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes an engine at time 0. Default seed is 1. *)
+
+val now : t -> Time.t
+val rng : t -> Rng.t
+
+val schedule : t -> at:Time.t -> (t -> unit) -> handle
+(** [schedule t ~at f] runs [f t] when simulated time reaches [at].
+    Raises [Invalid_argument] if [at] is in the past. *)
+
+val schedule_in : t -> delay:Time.t -> (t -> unit) -> handle
+(** [schedule_in t ~delay f] is [schedule t ~at:(now t + delay) f].
+    Requires [delay >= 0]. *)
+
+val every : t -> period:Time.t -> ?start:Time.t -> (t -> unit) -> handle
+(** Periodic event, first firing at [start] (default: next period
+    boundary from now). Cancelling the handle stops future firings. *)
+
+val cancel : handle -> unit
+(** Idempotent; a cancelled event is skipped when its time comes. *)
+
+val step : t -> bool
+(** Fires the next pending event. [false] if the queue was empty. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Processes events until the queue drains or simulated time would
+    exceed [until]. Events at exactly [until] still fire. *)
+
+val events_processed : t -> int
+val pending : t -> int
+
+val trace : t -> string -> string -> unit
+(** [trace t subsystem msg] appends to the trace log (cheap no-op unless
+    tracing was enabled). *)
+
+val set_tracing : t -> bool -> unit
+
+val traces : t -> (Time.t * string * string) list
+(** Collected trace records, oldest first. *)

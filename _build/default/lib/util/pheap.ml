@@ -1,0 +1,48 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) = struct
+  type t = Empty | Node of Elt.t * t list
+
+  let empty = Empty
+  let is_empty = function Empty -> true | Node _ -> false
+
+  let merge a b =
+    match a, b with
+    | Empty, h | h, Empty -> h
+    | Node (x, xs), Node (y, ys) ->
+      if Elt.compare x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+  let insert x h = merge (Node (x, [])) h
+
+  (* Two-pass pairing: merge siblings left-to-right in pairs, then fold
+     the pair results right-to-left. This is the variant with the proven
+     amortized bounds. *)
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ h ] -> h
+    | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
+
+  let find_min = function Empty -> None | Node (x, _) -> Some x
+
+  let delete_min = function
+    | Empty -> None
+    | Node (x, hs) -> Some (x, merge_pairs hs)
+
+  let rec size = function
+    | Empty -> 0
+    | Node (_, hs) -> 1 + List.fold_left (fun acc h -> acc + size h) 0 hs
+
+  let to_sorted_list h =
+    let rec drain acc h =
+      match delete_min h with
+      | None -> List.rev acc
+      | Some (x, h') -> drain (x :: acc) h'
+    in
+    drain [] h
+
+  let of_list xs = List.fold_left (fun h x -> insert x h) empty xs
+end

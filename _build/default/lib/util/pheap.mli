@@ -1,0 +1,34 @@
+(** Purely functional pairing heap.
+
+    Backs the simulator's event queue. Amortized O(1) insert/merge and
+    O(log n) delete-min; being persistent makes checkpointing a
+    simulation state trivial. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val insert : Elt.t -> t -> t
+  val merge : t -> t -> t
+
+  val find_min : t -> Elt.t option
+  (** [None] on the empty heap. *)
+
+  val delete_min : t -> (Elt.t * t) option
+  (** Smallest element and the remaining heap; [None] when empty. *)
+
+  val size : t -> int
+  (** O(n); intended for tests and assertions. *)
+
+  val to_sorted_list : t -> Elt.t list
+  (** Drains the heap in ascending order. O(n log n). *)
+
+  val of_list : Elt.t list -> t
+end

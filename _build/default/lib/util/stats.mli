@@ -1,0 +1,43 @@
+(** Summary statistics for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Full-population summary. Raises [Invalid_argument] on []. *)
+
+val summarize_opt : float list -> summary option
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation between
+    order statistics. Raises [Invalid_argument] on []. *)
+
+val histogram : buckets:int -> float list -> (float * float * int) list
+(** [(lo, hi, count)] rows covering [min, max] of the data in equal-width
+    buckets. Empty input gives []. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Counters and accumulators used by simulation metrics. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val values : t -> float list
+  (** In insertion order. *)
+
+  val summary : t -> summary option
+end

@@ -1,0 +1,22 @@
+(** Plain-text tables for experiment output.
+
+    The bench harness prints one table per reproduced experiment; this
+    keeps the rendering uniform and column-aligned. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val row_count : t -> int
+
+val render : t -> string
+val print : t -> unit
+(** Renders to stdout followed by a blank line. *)
+
+val cell_f : float -> string
+(** Fixed 3-decimal rendering used for measured values. *)
+
+val cell_pct : float -> string
+(** Percentage with 1 decimal, e.g. [12.5%]. *)

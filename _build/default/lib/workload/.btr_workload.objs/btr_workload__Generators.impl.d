@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Btr_util Graph List Printf Rng Stdlib Task Time

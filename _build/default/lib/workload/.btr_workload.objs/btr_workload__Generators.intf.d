@@ -1,0 +1,1 @@
+lib/workload/generators.mli: Btr_util Graph Rng Time

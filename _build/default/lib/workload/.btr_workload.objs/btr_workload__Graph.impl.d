@@ -1,0 +1,1 @@
+lib/workload/graph.ml: Btr_util Format Hashtbl Int List Printf Task Time

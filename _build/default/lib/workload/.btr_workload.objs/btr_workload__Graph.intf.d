@@ -1,0 +1,1 @@
+lib/workload/graph.mli: Btr_util Format Task Time

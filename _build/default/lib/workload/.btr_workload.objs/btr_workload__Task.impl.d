@@ -1,0 +1,1 @@
+lib/workload/task.ml: Btr_util Format Int Printf Time

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Btr_sched Btr_util List QCheck QCheck_alcotest Time

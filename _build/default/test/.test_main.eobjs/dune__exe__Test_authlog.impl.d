@@ -1,0 +1,1 @@
+test/test_authlog.ml: Alcotest Btr Btr_crypto Btr_evidence Btr_fault Btr_net Btr_util Btr_workload Gen Int64 List Printf QCheck QCheck_alcotest String Time

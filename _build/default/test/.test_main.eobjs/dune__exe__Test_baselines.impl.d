@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Btr Btr_baselines Btr_fault Btr_net Btr_util Btr_workload Float List Printf Stdlib Time

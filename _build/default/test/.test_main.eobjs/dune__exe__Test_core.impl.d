@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Btr Btr_net Btr_planner Btr_util Btr_workload Int64 List Option Time

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Auth Btr_crypto Int64 QCheck QCheck_alcotest

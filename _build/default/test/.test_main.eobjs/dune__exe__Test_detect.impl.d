@@ -1,0 +1,1 @@
+test/test_detect.ml: Alcotest Btr_detect Btr_evidence Btr_util Gen Int List QCheck QCheck_alcotest Time

@@ -1,0 +1,1 @@
+test/test_evidence.ml: Alcotest Btr_crypto Btr_evidence Btr_util List QCheck QCheck_alcotest String Time

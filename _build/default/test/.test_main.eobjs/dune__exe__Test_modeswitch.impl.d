@@ -1,0 +1,1 @@
+test/test_modeswitch.ml: Alcotest Array Btr_fault Btr_modeswitch Btr_net Btr_planner Btr_util Btr_workload Gen Generators List Option Printf QCheck QCheck_alcotest Rng String Time

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Btr_net Btr_sim Btr_util List Net QCheck QCheck_alcotest Stdlib Time Topology

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Btr_net Btr_planner Btr_sched Btr_util Btr_workload Fun Generators Graph Int List QCheck QCheck_alcotest Rng String Task Time

@@ -1,0 +1,1 @@
+test/test_plant.ml: Alcotest Btr_plant Btr_util Float Plant QCheck QCheck_alcotest Time

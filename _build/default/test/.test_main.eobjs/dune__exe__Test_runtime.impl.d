@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Btr Btr_evidence Btr_fault Btr_net Btr_planner Btr_util Btr_workload List Printf QCheck QCheck_alcotest String Time

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Btr_sched Btr_util Btr_workload Generators Graph List Option QCheck QCheck_alcotest Rng Schedule Task Time

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Btr_sim Btr_util Gen Int List QCheck QCheck_alcotest Rng Time

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Btr_util Float Gen Int List Pheap QCheck QCheck_alcotest Rng Stats Stdlib String Table Time

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Btr_util Btr_workload Generators Graph List QCheck QCheck_alcotest Rng Task Time

@@ -1,0 +1,148 @@
+open Btr_util
+module Auth = Btr_crypto.Auth
+module Authlog = Btr_evidence.Authlog
+module Fault = Btr_fault.Fault
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample_entries =
+  [
+    Authlog.Sent { flow = 1; period = 0; digest = 11L };
+    Authlog.Received { flow = 2; period = 0; digest = 22L; from_node = 4 };
+    Authlog.Executed { task = 7; period = 0; output_digest = 33L };
+  ]
+
+let mk_log () =
+  let auth = Auth.create () in
+  let key = Auth.gen_key auth ~owner:3 in
+  let log = Authlog.create ~owner:3 in
+  List.iter (Authlog.append log) sample_entries;
+  (auth, key, log)
+
+let test_append_and_head () =
+  let _, _, log = mk_log () in
+  check_int "length" 3 (Authlog.length log);
+  check_int "entries in order" 3 (List.length (Authlog.entries log));
+  check_bool "entries round-trip" true (Authlog.entries log = sample_entries);
+  let empty = Authlog.create ~owner:0 in
+  check_bool "head moves with appends" false
+    (Int64.equal (Authlog.head log) (Authlog.head empty))
+
+let test_encode_injective () =
+  let variants =
+    [
+      Authlog.Sent { flow = 1; period = 0; digest = 11L };
+      Authlog.Sent { flow = 1; period = 1; digest = 11L };
+      Authlog.Sent { flow = 2; period = 0; digest = 11L };
+      Authlog.Received { flow = 1; period = 0; digest = 11L; from_node = 0 };
+      Authlog.Executed { task = 1; period = 0; output_digest = 11L };
+    ]
+  in
+  check_int "distinct encodings" (List.length variants)
+    (List.length
+       (List.sort_uniq String.compare (List.map Authlog.encode_entry variants)))
+
+let test_checkpoint_sign_verify () =
+  let auth, key, log = mk_log () in
+  let cp = Authlog.checkpoint log auth key in
+  check_bool "verifies" true (Authlog.verify_checkpoint auth cp);
+  check_int "commits to current length" 3 cp.Authlog.cp_length;
+  let other = Auth.gen_key auth ~owner:9 in
+  Alcotest.check_raises "cannot checkpoint another node's log"
+    (Invalid_argument "Authlog.checkpoint: secret does not belong to the log owner")
+    (fun () -> ignore (Authlog.checkpoint log auth other))
+
+let test_audit_consistent () =
+  let auth, key, log = mk_log () in
+  let cp = Authlog.checkpoint log auth key in
+  check_bool "honest log audits clean" true
+    (Authlog.audit cp (Authlog.entries log) = Authlog.Consistent);
+  (* Appending after the checkpoint is fine: audit covers the prefix. *)
+  Authlog.append log (Authlog.Sent { flow = 9; period = 1; digest = 99L });
+  check_bool "longer log still consistent with old checkpoint" true
+    (Authlog.audit cp (Authlog.entries log) = Authlog.Consistent)
+
+let test_audit_detects_tampering () =
+  let auth, key, log = mk_log () in
+  let cp = Authlog.checkpoint log auth key in
+  let tampered =
+    List.map
+      (function
+        | Authlog.Sent { flow; period; digest = _ } ->
+          Authlog.Sent { flow; period; digest = 666L }
+        | e -> e)
+      (Authlog.entries log)
+  in
+  (match Authlog.audit cp tampered with
+  | Authlog.Tampered _ -> ()
+  | _ -> Alcotest.fail "tampering must be detected");
+  (* Reordering is also tampering. *)
+  match Authlog.audit cp (List.rev (Authlog.entries log)) with
+  | Authlog.Tampered _ -> ()
+  | _ -> Alcotest.fail "reordering must be detected"
+
+let test_audit_detects_truncation () =
+  let auth, key, log = mk_log () in
+  let cp = Authlog.checkpoint log auth key in
+  match Authlog.audit cp (List.filteri (fun i _ -> i < 2) (Authlog.entries log)) with
+  | Authlog.Truncated -> ()
+  | _ -> Alcotest.fail "truncation must be detected"
+
+(* Runtime integration: every correct node's log audits clean against
+   its own signed checkpoints after a faulty run. *)
+let test_runtime_logs_audit_clean () =
+  let s =
+    Btr.Scenario.spec
+      ~workload:(Btr_workload.Generators.avionics ~n_nodes:6)
+      ~topology:
+        (Btr_net.Topology.fully_connected ~n:6 ~bandwidth_bps:10_000_000
+           ~latency:(Time.us 50))
+      ~f:1 ~recovery_bound:(Time.ms 200)
+      ~script:(Fault.single ~at:(Time.ms 250) ~node:3 Fault.Corrupt_outputs)
+      ~horizon:(Time.ms 600) ()
+  in
+  match Btr.Scenario.run s with
+  | Error e -> Alcotest.failf "plan: %a" Btr.Scenario.Planner.pp_error e
+  | Ok rt ->
+    let auth = Btr.Runtime.auth rt in
+    List.iter
+      (fun node ->
+        let log, checkpoints = Btr.Runtime.node_log rt node in
+        check_bool
+          (Printf.sprintf "node %d produced checkpoints" node)
+          true (checkpoints <> []);
+        List.iter
+          (fun cp ->
+            check_bool "checkpoint verifies" true (Authlog.verify_checkpoint auth cp);
+            check_bool "log consistent with commitment" true
+              (Authlog.audit cp (Authlog.entries log) = Authlog.Consistent))
+          checkpoints)
+      [ 0; 1; 2; 4; 5 ]
+
+let prop_audit_roundtrip =
+  QCheck.Test.make ~name:"audit accepts exactly the committed prefix" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (triple small_nat small_nat int64))
+    (fun raw ->
+      let auth = Auth.create () in
+      let key = Auth.gen_key auth ~owner:0 in
+      let log = Authlog.create ~owner:0 in
+      List.iter
+        (fun (flow, period, digest) ->
+          Authlog.append log (Authlog.Sent { flow; period; digest }))
+        raw;
+      let cp = Authlog.checkpoint log auth key in
+      Authlog.audit cp (Authlog.entries log) = Authlog.Consistent
+      && Authlog.verify_checkpoint auth cp)
+
+let suite =
+  [
+    ("append and head", `Quick, test_append_and_head);
+    ("entry encoding injective", `Quick, test_encode_injective);
+    ("checkpoint sign/verify", `Quick, test_checkpoint_sign_verify);
+    ("audit: consistent logs pass", `Quick, test_audit_consistent);
+    ("audit: tampering detected", `Quick, test_audit_detects_tampering);
+    ("audit: truncation detected", `Quick, test_audit_detects_truncation);
+    ("runtime: correct nodes' logs audit clean", `Quick, test_runtime_logs_audit_clean);
+    QCheck_alcotest.to_alcotest prop_audit_roundtrip;
+  ]

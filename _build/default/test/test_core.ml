@@ -1,0 +1,252 @@
+(* Unit tests for the core support modules: behaviours, the golden
+   reference executor, the output metrics, and the scenario facade. *)
+
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Behavior = Btr.Behavior
+module Golden = Btr.Golden
+module Metrics = Btr.Metrics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A 3-task chain: source 0 -> compute 1 -> sink 2. *)
+let chain () =
+  Graph.create ~period:(Time.ms 10)
+    ~tasks:
+      [
+        Task.make ~id:0 ~name:"s" ~kind:Task.Source ~wcet:(Time.us 10) ~pinned:0 ();
+        Task.make ~id:1 ~name:"c" ~wcet:(Time.ms 1) ();
+        Task.make ~id:2 ~name:"k" ~kind:Task.Sink ~wcet:(Time.us 10) ~pinned:1 ();
+      ]
+    ~flows:
+      [
+        { Graph.flow_id = 0; producer = 0; consumer = 1; msg_size = 8; deadline = None };
+        { Graph.flow_id = 1; producer = 1; consumer = 2; msg_size = 8; deadline = Some (Time.ms 9) };
+      ]
+
+(* Behavior *)
+
+let test_default_compute_deterministic () =
+  let inputs = [ { Behavior.orig_flow = 0; value = [| 1.5 |] } ] in
+  let a = Behavior.default_compute 1 ~period:3 ~inputs in
+  let b = Behavior.default_compute 1 ~period:3 ~inputs in
+  check_bool "same inputs, same output" true (a = b);
+  check_bool "different period, different output" true
+    (a <> Behavior.default_compute 1 ~period:4 ~inputs);
+  check_bool "different task, different output" true
+    (a <> Behavior.default_compute 2 ~period:3 ~inputs)
+
+let test_default_compute_order_insensitive () =
+  let i1 = { Behavior.orig_flow = 0; value = [| 1.0 |] } in
+  let i2 = { Behavior.orig_flow = 1; value = [| 2.0 |] } in
+  check_bool "input order irrelevant" true
+    (Behavior.default_compute 1 ~period:0 ~inputs:[ i1; i2 ]
+    = Behavior.default_compute 1 ~period:0 ~inputs:[ i2; i1 ])
+
+let test_default_compute_silent_without_inputs () =
+  check_bool "no inputs, no output" true
+    (Behavior.default_compute 1 ~period:0 ~inputs:[] = None)
+
+let test_value_digest () =
+  check_bool "digest deterministic" true
+    (Int64.equal (Behavior.value_digest [| 1.0; 2.0 |]) (Behavior.value_digest [| 1.0; 2.0 |]));
+  check_bool "digest discriminates values" false
+    (Int64.equal (Behavior.value_digest [| 1.0 |]) (Behavior.value_digest [| 1.0000001 |]));
+  check_bool "digest discriminates arity" false
+    (Int64.equal (Behavior.value_digest [| 1.0 |]) (Behavior.value_digest [| 1.0; 1.0 |]))
+
+let test_equal_value () =
+  check_bool "equal" true (Behavior.equal_value [| 1.0; 2.0 |] [| 1.0; 2.0 |]);
+  check_bool "tolerant to 1e-12" true (Behavior.equal_value [| 1.0 |] [| 1.0 +. 1e-12 |]);
+  check_bool "length mismatch" false (Behavior.equal_value [| 1.0 |] [| 1.0; 2.0 |]);
+  check_bool "value mismatch" false (Behavior.equal_value [| 1.0 |] [| 1.1 |])
+
+let test_behavior_table () =
+  let g = chain () in
+  let marker ~period:_ ~inputs:_ = Some [| 99.0 |] in
+  let t = Behavior.table g ~overrides:[ (1, marker) ] in
+  check_bool "override wins" true
+    (Behavior.find t 1 ~period:0 ~inputs:[] = Some [| 99.0 |]);
+  check_bool "source default is counter" true
+    (Behavior.find t 0 ~period:5 ~inputs:[] = Some [| 0.0; 5.0 |])
+
+(* Golden *)
+
+let test_golden_chain () =
+  let g = chain () in
+  let table = Behavior.table g ~overrides:[] in
+  let gold = Golden.create g table in
+  check_bool "unrecorded source has no value" true
+    (Golden.value gold ~task:0 ~period:0 = None);
+  Golden.note_source gold ~task:0 ~period:0 [| 7.0 |];
+  (match Golden.value gold ~task:1 ~period:0 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "compute value expected once source recorded");
+  check_bool "flow value = producer value" true
+    (Golden.flow_value gold ~flow:1 ~period:0 = Golden.value gold ~task:1 ~period:0);
+  check_bool "digest matches value" true
+    (match Golden.value gold ~task:1 ~period:0, Golden.digest gold ~task:1 ~period:0 with
+    | Some v, Some d -> Int64.equal (Behavior.value_digest v) d
+    | _ -> false)
+
+let test_golden_first_write_wins () =
+  let g = chain () in
+  let gold = Golden.create g (Behavior.table g ~overrides:[]) in
+  Golden.note_source gold ~task:0 ~period:0 [| 1.0 |];
+  Golden.note_source gold ~task:0 ~period:0 [| 2.0 |];
+  check_bool "first write wins" true
+    (Golden.value gold ~task:0 ~period:0 = Some [| 1.0 |])
+
+let test_golden_missing_input_propagates () =
+  let g = chain () in
+  let gold = Golden.create g (Behavior.table g ~overrides:[]) in
+  (* Source never fires in period 3: compute has no inputs -> None. *)
+  check_bool "starved compute has no golden value" true
+    (Golden.value gold ~task:1 ~period:3 = None)
+
+(* Metrics *)
+
+let mk_metrics () =
+  let g = chain () in
+  let gold = Golden.create g (Behavior.table g ~overrides:[]) in
+  (Metrics.create g, gold, g)
+
+let expected_value gold period =
+  Golden.note_source gold ~task:0 ~period [| float_of_int period |];
+  Option.get (Golden.flow_value gold ~flow:1 ~period)
+
+let test_metrics_statuses () =
+  let m, gold, _ = mk_metrics () in
+  (* p0 correct, p1 wrong, p2 missing, p3 late, p4 shed *)
+  let v0 = expected_value gold 0 in
+  Metrics.record_delivery m ~orig_flow:1 ~period:0 ~value:v0 ~arrived:(Time.ms 5) ~lane:0;
+  let _ = expected_value gold 1 in
+  Metrics.record_delivery m ~orig_flow:1 ~period:1 ~value:[| 1234.0 |]
+    ~arrived:(Time.ms 15) ~lane:0;
+  let _ = expected_value gold 2 in
+  let v3 = expected_value gold 3 in
+  Metrics.record_delivery m ~orig_flow:1 ~period:3 ~value:v3
+    ~arrived:(Time.add (Time.ms 30) (Time.ms 9 + 1)) ~lane:1;
+  let _ = expected_value gold 4 in
+  Metrics.record_shed m ~orig_flow:1 ~period:4;
+  List.iter (fun p -> Metrics.finalize_period m ~golden:gold ~period:p) [ 0; 1; 2; 3; 4 ];
+  let st p = Option.get (Metrics.status m ~orig_flow:1 ~period:p) in
+  check_bool "p0 correct" true (st 0 = Metrics.Correct);
+  check_bool "p1 wrong" true (st 1 = Metrics.Wrong);
+  check_bool "p2 missing" true (st 2 = Metrics.Missing);
+  check_bool "p3 late" true (st 3 = Metrics.Late);
+  check_bool "p4 shed" true (st 4 = Metrics.Shed);
+  check_int "five periods" 5 (Metrics.periods_finalized m);
+  (* Aggregates: 1 correct out of 4 non-shed; 2 deadline misses. *)
+  Alcotest.(check (float 1e-9)) "correct fraction" 0.25 (Metrics.correct_fraction m);
+  Alcotest.(check (float 1e-9)) "miss fraction" 0.5 (Metrics.deadline_miss_fraction m);
+  check_int "bad periods x period" (Time.ms 30) (Metrics.incorrect_time m);
+  check_bool "lane counts" true (Metrics.lanes_used m ~orig_flow:1 = [ (0, 2); (1, 1) ])
+
+let test_metrics_vacuous_correct () =
+  let m, gold, _ = mk_metrics () in
+  (* Nothing expected (source silent) and nothing delivered: Correct. *)
+  Metrics.finalize_period m ~golden:gold ~period:0;
+  check_bool "vacuously correct" true
+    (Metrics.status m ~orig_flow:1 ~period:0 = Some Metrics.Correct)
+
+let test_metrics_unexpected_delivery_is_wrong () =
+  let m, gold, _ = mk_metrics () in
+  Metrics.record_delivery m ~orig_flow:1 ~period:0 ~value:[| 3.0 |]
+    ~arrived:(Time.ms 2) ~lane:0;
+  Metrics.finalize_period m ~golden:gold ~period:0;
+  check_bool "acting with no golden value is wrong" true
+    (Metrics.status m ~orig_flow:1 ~period:0 = Some Metrics.Wrong)
+
+let test_metrics_recovery_windows () =
+  let m, gold, _ = mk_metrics () in
+  Metrics.record_injection m ~at:(Time.ms 10) ~node:5 ~what:"corrupt";
+  (* periods 1-2 bad, 3+ good. *)
+  for p = 0 to 5 do
+    let v = expected_value gold p in
+    let delivered = if p = 1 || p = 2 then [| -1.0 |] else v in
+    Metrics.record_delivery m ~orig_flow:1 ~period:p ~value:delivered
+      ~arrived:(Time.add (Time.mul (Time.ms 10) p) (Time.ms 5)) ~lane:0;
+    Metrics.finalize_period m ~golden:gold ~period:p
+  done;
+  (match Metrics.recovery_times m with
+  | [ r ] -> check_int "recovery ends with last bad period" (Time.ms 20) r
+  | l -> Alcotest.failf "expected 1 recovery, got %d" (List.length l));
+  check_int "incorrect time = 2 periods" (Time.ms 20) (Metrics.incorrect_time m)
+
+let test_metrics_protected_scoping () =
+  let g = chain () in
+  let gold = Golden.create g (Behavior.table g ~overrides:[]) in
+  let m = Metrics.create ~protected_flows:[] g in
+  Metrics.record_injection m ~at:Time.zero ~node:0 ~what:"corrupt";
+  let _ = expected_value gold 0 in
+  Metrics.finalize_period m ~golden:gold ~period:0;
+  (* flow 1 is Missing, but it is not protected: no incorrect time. *)
+  check_int "unprotected misses don't count" 0 (Metrics.incorrect_time m);
+  check_bool "recovery zero" true (Metrics.recovery_times m = [ Time.zero ])
+
+(* Scenario *)
+
+let test_scenario_defaults () =
+  let s =
+    Btr.Scenario.spec
+      ~workload:(Btr_workload.Generators.avionics ~n_nodes:6)
+      ~topology:
+        (Btr_net.Topology.fully_connected ~n:6 ~bandwidth_bps:10_000_000
+           ~latency:(Time.us 50))
+      ~f:1 ~recovery_bound:(Time.ms 200) ()
+  in
+  check_int "default horizon = 100 periods" (Time.sec 2) s.Btr.Scenario.horizon;
+  check_int "default seed" 1 s.Btr.Scenario.seed
+
+let test_scenario_plan_only () =
+  let s =
+    Btr.Scenario.spec
+      ~workload:(Btr_workload.Generators.scada ~n_nodes:5)
+      ~topology:
+        (Btr_net.Topology.fully_connected ~n:5 ~bandwidth_bps:10_000_000
+           ~latency:(Time.us 50))
+      ~f:1 ~recovery_bound:(Time.ms 300) ()
+  in
+  match Btr.Scenario.plan s with
+  | Ok strategy -> check_bool "scada admits" true (Btr_planner.Planner.admitted strategy)
+  | Error e -> Alcotest.failf "plan: %a" Btr_planner.Planner.pp_error e
+
+let test_scenario_tune_applies () =
+  let s =
+    Btr.Scenario.spec
+      ~workload:(Btr_workload.Generators.avionics ~n_nodes:6)
+      ~topology:
+        (Btr_net.Topology.fully_connected ~n:6 ~bandwidth_bps:10_000_000
+           ~latency:(Time.us 50))
+      ~f:1 ~recovery_bound:(Time.ms 200)
+      ~tune:(fun c -> { c with Btr_planner.Planner.degree = 3 })
+      ()
+  in
+  match Btr.Scenario.plan s with
+  | Ok strategy ->
+    check_int "tuned degree stored" 3 (Btr_planner.Planner.config strategy).Btr_planner.Planner.degree
+  | Error e -> Alcotest.failf "plan: %a" Btr_planner.Planner.pp_error e
+
+let suite =
+  [
+    ("behaviour: deterministic", `Quick, test_default_compute_deterministic);
+    ("behaviour: input-order insensitive", `Quick, test_default_compute_order_insensitive);
+    ("behaviour: silent without inputs", `Quick, test_default_compute_silent_without_inputs);
+    ("behaviour: value digests", `Quick, test_value_digest);
+    ("behaviour: value equality", `Quick, test_equal_value);
+    ("behaviour: table overrides", `Quick, test_behavior_table);
+    ("golden: chain evaluation", `Quick, test_golden_chain);
+    ("golden: first source write wins", `Quick, test_golden_first_write_wins);
+    ("golden: missing input propagates", `Quick, test_golden_missing_input_propagates);
+    ("metrics: all five statuses", `Quick, test_metrics_statuses);
+    ("metrics: vacuous periods are correct", `Quick, test_metrics_vacuous_correct);
+    ("metrics: unexpected delivery is wrong", `Quick, test_metrics_unexpected_delivery_is_wrong);
+    ("metrics: recovery windows", `Quick, test_metrics_recovery_windows);
+    ("metrics: protected-flow scoping", `Quick, test_metrics_protected_scoping);
+    ("scenario: defaults", `Quick, test_scenario_defaults);
+    ("scenario: plan only", `Quick, test_scenario_plan_only);
+    ("scenario: tune applies", `Quick, test_scenario_tune_applies);
+  ]

@@ -1,0 +1,169 @@
+open Btr_util
+module Detect = Btr_detect.Detect
+module Evidence = Btr_evidence.Evidence
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_path_admissibility () =
+  let s accused =
+    {
+      Evidence.accused;
+      fault_class = Evidence.Omission;
+      detector = 2;
+      period = 0;
+      detected_at = 0;
+      detail = "";
+    }
+  in
+  check_bool "own path ok" true
+    (Detect.path_statement_admissible (s (Evidence.path 2 5)));
+  check_bool "own path ok (other end)" true
+    (Detect.path_statement_admissible (s (Evidence.path 5 2)));
+  check_bool "third-party path rejected" false
+    (Detect.path_statement_admissible (s (Evidence.path 4 5)));
+  check_bool "node accusations unaffected" true
+    (Detect.path_statement_admissible (s (Evidence.Node 9)))
+
+(* Watchdog *)
+
+let test_watchdog_on_time () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:(Time.ms 1) () in
+  Detect.Watchdog.expect w ~flow:7 ~period:0 ~from_node:3 ~deadline:(Time.ms 10);
+  check_bool "on-time arrival is quiet" true
+    (Detect.Watchdog.note_arrival w ~flow:7 ~period:0 ~at:(Time.ms 9) = None);
+  Alcotest.(check (list (triple int int int)))
+    "nothing overdue" []
+    (Detect.Watchdog.overdue w ~now:(Time.ms 100))
+
+let test_watchdog_late () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:(Time.ms 1) () in
+  Detect.Watchdog.expect w ~flow:7 ~period:0 ~from_node:3 ~deadline:(Time.ms 10);
+  match Detect.Watchdog.note_arrival w ~flow:7 ~period:0 ~at:(Time.ms 14) with
+  | Some l ->
+    check_int "from node" 3 l.Detect.Watchdog.from_node;
+    check_int "lateness beyond margin" (Time.ms 3) l.Detect.Watchdog.lateness
+  | None -> Alcotest.fail "expected lateness"
+
+let test_watchdog_margin_absorbs () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:(Time.ms 2) () in
+  Detect.Watchdog.expect w ~flow:7 ~period:0 ~from_node:3 ~deadline:(Time.ms 10);
+  check_bool "within margin" true
+    (Detect.Watchdog.note_arrival w ~flow:7 ~period:0 ~at:(Time.ms 11) = None)
+
+let test_watchdog_overdue_once () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:(Time.ms 1) () in
+  Detect.Watchdog.expect w ~flow:7 ~period:0 ~from_node:3 ~deadline:(Time.ms 10);
+  Detect.Watchdog.expect w ~flow:8 ~period:0 ~from_node:4 ~deadline:(Time.ms 10);
+  check_bool "not due before deadline" true
+    (Detect.Watchdog.overdue w ~now:(Time.ms 10) = []);
+  check_int "both overdue" 2 (List.length (Detect.Watchdog.overdue w ~now:(Time.ms 12)));
+  check_int "reported once" 0 (List.length (Detect.Watchdog.overdue w ~now:(Time.ms 20)))
+
+let test_watchdog_unexpected_arrival () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:Time.zero () in
+  check_bool "unknown flow ignored" true
+    (Detect.Watchdog.note_arrival w ~flow:99 ~period:0 ~at:(Time.ms 1) = None)
+
+let test_watchdog_expect_idempotent () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:Time.zero () in
+  Detect.Watchdog.expect w ~flow:1 ~period:0 ~from_node:2 ~deadline:(Time.ms 5);
+  Detect.Watchdog.expect w ~flow:1 ~period:0 ~from_node:9 ~deadline:(Time.ms 50);
+  match Detect.Watchdog.overdue w ~now:(Time.ms 10) with
+  | [ (1, 0, 2) ] -> ()
+  | l -> Alcotest.failf "expected the first registration, got %d entries" (List.length l)
+
+let test_watchdog_strikes () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:Time.zero ~strikes:3 () in
+  let miss flow =
+    Detect.Watchdog.expect w ~flow ~period:0 ~from_node:7 ~deadline:(Time.ms 10);
+    Detect.Watchdog.overdue w ~now:(Time.ms 20)
+  in
+  Alcotest.(check (list (triple int int int))) "first miss silent" [] (miss 1);
+  Alcotest.(check (list (triple int int int))) "second miss silent" [] (miss 2);
+  Alcotest.(check (list (triple int int int)))
+    "third strike reports" [ (3, 0, 7) ] (miss 3);
+  Alcotest.(check (list (triple int int int)))
+    "and keeps reporting afterwards" [ (4, 0, 7) ] (miss 4)
+
+let test_watchdog_strikes_per_sender () =
+  let w = Detect.Watchdog.create ~node:1 ~margin:Time.zero ~strikes:2 () in
+  Detect.Watchdog.expect w ~flow:1 ~period:0 ~from_node:7 ~deadline:(Time.ms 1);
+  Detect.Watchdog.expect w ~flow:2 ~period:0 ~from_node:8 ~deadline:(Time.ms 1);
+  check_bool "one miss each: nobody reported" true
+    (Detect.Watchdog.overdue w ~now:(Time.ms 5) = []);
+  Detect.Watchdog.expect w ~flow:1 ~period:1 ~from_node:7 ~deadline:(Time.ms 11);
+  Alcotest.(check (list (triple int int int)))
+    "7 crosses its own threshold" [ (1, 1, 7) ]
+    (Detect.Watchdog.overdue w ~now:(Time.ms 15))
+
+(* Attribution *)
+
+let test_attribution_threshold () =
+  let a = Detect.Attribution.create ~threshold:2 in
+  Alcotest.(check (list int)) "one path: nobody" [] (Detect.Attribution.note_path a ~a:4 ~b:1);
+  Alcotest.(check (list int))
+    "second distinct counterpart attributes node 4" [ 4 ]
+    (Detect.Attribution.note_path a ~a:4 ~b:2);
+  check_bool "attributed" true (Detect.Attribution.is_attributed a 4);
+  check_bool "counterparties tracked" true
+    (List.sort Int.compare (Detect.Attribution.counterparties a 4) = [ 1; 2 ])
+
+let test_attribution_duplicate_paths_dont_count () =
+  let a = Detect.Attribution.create ~threshold:2 in
+  ignore (Detect.Attribution.note_path a ~a:4 ~b:1);
+  ignore (Detect.Attribution.note_path a ~a:4 ~b:1);
+  ignore (Detect.Attribution.note_path a ~a:1 ~b:4);
+  check_bool "same path repeated never attributes" false
+    (Detect.Attribution.is_attributed a 4)
+
+let test_attribution_no_false_positive_with_threshold_f1 () =
+  (* f = 1, threshold 2: a correct node facing one faulty counterpart
+     never crosses the threshold, however many declarations repeat. *)
+  let a = Detect.Attribution.create ~threshold:2 in
+  for _ = 1 to 10 do
+    ignore (Detect.Attribution.note_path a ~a:0 ~b:9)
+  done;
+  check_bool "victim safe" false (Detect.Attribution.is_attributed a 0);
+  check_bool "attacker not yet attributable either" false
+    (Detect.Attribution.is_attributed a 9);
+  (* The attacker omits toward a second counterpart: now it crosses. *)
+  Alcotest.(check (list int)) "attacker attributed" [ 9 ]
+    (Detect.Attribution.note_path a ~a:1 ~b:9)
+
+let test_attribution_reports_each_node_once () =
+  let a = Detect.Attribution.create ~threshold:1 in
+  Alcotest.(check (list int)) "both endpoints at threshold 1" [ 4; 1 ]
+    (Detect.Attribution.note_path a ~a:4 ~b:1);
+  Alcotest.(check (list int))
+    "4 not re-reported; its new counterpart 2 crosses threshold 1" [ 2 ]
+    (Detect.Attribution.note_path a ~a:4 ~b:2)
+
+let prop_attribution_needs_threshold_distinct =
+  QCheck.Test.make
+    ~name:"a node is attributed iff it saw >= threshold distinct counterparties"
+    ~count:200
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(1 -- 20) (int_bound 5)))
+    (fun (threshold, others) ->
+      let a = Detect.Attribution.create ~threshold in
+      List.iter (fun b -> ignore (Detect.Attribution.note_path a ~a:100 ~b)) others;
+      let distinct = List.length (List.sort_uniq Int.compare others) in
+      Detect.Attribution.is_attributed a 100 = (distinct >= threshold))
+
+let suite =
+  [
+    ("path admissibility", `Quick, test_path_admissibility);
+    ("watchdog: on-time arrivals are quiet", `Quick, test_watchdog_on_time);
+    ("watchdog: lateness measured beyond margin", `Quick, test_watchdog_late);
+    ("watchdog: margin absorbs jitter", `Quick, test_watchdog_margin_absorbs);
+    ("watchdog: overdue reported exactly once", `Quick, test_watchdog_overdue_once);
+    ("watchdog: unexpected arrivals ignored", `Quick, test_watchdog_unexpected_arrival);
+    ("watchdog: expectations are idempotent", `Quick, test_watchdog_expect_idempotent);
+    ("watchdog: strike threshold", `Quick, test_watchdog_strikes);
+    ("watchdog: strikes counted per sender", `Quick, test_watchdog_strikes_per_sender);
+    ("attribution: threshold of distinct counterparties", `Quick, test_attribution_threshold);
+    ("attribution: duplicates don't count", `Quick, test_attribution_duplicate_paths_dont_count);
+    ("attribution: no false positives at f+1", `Quick, test_attribution_no_false_positive_with_threshold_f1);
+    ("attribution: reported once", `Quick, test_attribution_reports_each_node_once);
+    QCheck_alcotest.to_alcotest prop_attribution_needs_threshold_distinct;
+  ]

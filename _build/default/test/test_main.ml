@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "btr"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("crypto", Test_crypto.suite);
+      ("net", Test_net.suite);
+      ("workload", Test_workload.suite);
+      ("sched", Test_sched.suite);
+      ("analysis", Test_analysis.suite);
+      ("plant", Test_plant.suite);
+      ("evidence", Test_evidence.suite);
+      ("authlog", Test_authlog.suite);
+      ("detect", Test_detect.suite);
+      ("planner", Test_planner.suite);
+      ("modeswitch", Test_modeswitch.suite);
+      ("core", Test_core.suite);
+      ("runtime", Test_runtime.suite);
+      ("baselines", Test_baselines.suite);
+    ]

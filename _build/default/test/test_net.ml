@@ -1,0 +1,241 @@
+open Btr_util
+open Btr_net
+module Engine = Btr_sim.Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Topology *)
+
+let test_topology_validation () =
+  let link id members =
+    { Topology.link_id = id; members; bandwidth_bps = 1000; latency = Time.us 10 }
+  in
+  Alcotest.check_raises "unknown member"
+    (Invalid_argument "Topology.create: link 0 member 9 is not a node") (fun () ->
+      ignore (Topology.create ~nodes:[ 0; 1 ] ~links:[ link 0 [ 0; 9 ] ]));
+  Alcotest.check_raises "single-member link"
+    (Invalid_argument "Topology.create: link 0 has < 2 members") (fun () ->
+      ignore (Topology.create ~nodes:[ 0; 1 ] ~links:[ link 0 [ 0 ] ]));
+  Alcotest.check_raises "duplicate nodes"
+    (Invalid_argument "Topology.create: duplicate node ids") (fun () ->
+      ignore (Topology.create ~nodes:[ 0; 0 ] ~links:[]))
+
+let test_generators () =
+  let fc = Topology.fully_connected ~n:4 ~bandwidth_bps:1000 ~latency:(Time.us 1) in
+  check_int "fc links" 6 (List.length (Topology.links fc));
+  let ring = Topology.ring ~n:5 ~bandwidth_bps:1000 ~latency:(Time.us 1) in
+  check_int "ring links" 5 (List.length (Topology.links ring));
+  check_int "ring degree" 2 (List.length (Topology.neighbors ring 0));
+  let star = Topology.star ~n:5 ~hub:0 ~bandwidth_bps:1000 ~latency:(Time.us 1) in
+  check_int "star hub degree" 4 (List.length (Topology.neighbors star 0));
+  check_int "star spoke degree" 1 (List.length (Topology.neighbors star 3));
+  let db = Topology.dual_bus ~n:6 ~bandwidth_bps:1000 ~latency:(Time.us 1) in
+  check_int "dual bus links" 2 (List.length (Topology.links db));
+  check_int "dual bus everyone adjacent" 5 (List.length (Topology.neighbors db 2))
+
+let test_routing () =
+  let ring = Topology.ring ~n:6 ~bandwidth_bps:1000 ~latency:(Time.us 1) in
+  (match Topology.route ring ~src:0 ~dst:3 with
+  | Some path -> check_int "ring 0->3 hops" 3 (List.length path)
+  | None -> Alcotest.fail "route expected");
+  (match Topology.route ring ~src:2 ~dst:2 with
+  | Some [] -> ()
+  | _ -> Alcotest.fail "self route should be empty");
+  match Topology.route_avoiding ring ~avoid:[ 1; 5 ] ~src:0 ~dst:3 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "0->3 must be cut when 1 and 5 cannot relay"
+
+let test_connected_without () =
+  let star = Topology.star ~n:5 ~hub:0 ~bandwidth_bps:1000 ~latency:(Time.us 1) in
+  check_bool "star loses hub" false (Topology.connected_without star [ 0 ]);
+  check_bool "star loses spoke ok" true (Topology.connected_without star [ 3 ]);
+  let fc = Topology.fully_connected ~n:4 ~bandwidth_bps:1000 ~latency:(Time.us 1) in
+  check_bool "clique survives any single failure" true
+    (Topology.connected_without fc [ 2 ])
+
+(* Net *)
+
+let mk_net ?(n = 3) ?(bw = 1_000_000) ?(lat = Time.us 100) () =
+  let e = Engine.create () in
+  let topo = Topology.fully_connected ~n ~bandwidth_bps:bw ~latency:lat in
+  (e, Net.create e topo ())
+
+let test_send_receive () =
+  let e, net = mk_net () in
+  let got = ref None in
+  Net.set_handler net 1 (fun r -> got := Some r);
+  check_bool "send accepted" true
+    (Net.send net ~src:0 ~dst:1 ~cls:Net.Data ~size_bytes:100 "hello");
+  Engine.run e;
+  match !got with
+  | Some r ->
+    Alcotest.(check string) "payload" "hello" r.Net.payload;
+    check_int "src" 0 r.Net.src;
+    check_bool "took positive time" true (r.Net.delivered_at > Time.zero)
+  | None -> Alcotest.fail "message not delivered"
+
+let test_latency_model () =
+  (* 1 MB/s link, default shares split between 2 members, 80% data:
+     rate = 400_000 B/s, so 4000 bytes serialize in 10 ms + 100us prop. *)
+  let e, net = mk_net () in
+  let got = ref None in
+  Net.set_handler net 1 (fun r -> got := Some r);
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Data ~size_bytes:4000 ());
+  Engine.run e;
+  match !got with
+  | Some r ->
+    let expect =
+      Time.add
+        (Time.us (4000 * 1_000_000 / Net.reserved_rate net 0
+                    (List.hd (Topology.links_of_node (Net.topology net) 0))
+                    Net.Data))
+        (Time.us 100)
+    in
+    check_int "serialization + propagation" expect r.Net.delivered_at
+  | None -> Alcotest.fail "not delivered"
+
+let test_queueing () =
+  (* Two back-to-back sends from the same node serialize sequentially. *)
+  let e, net = mk_net () in
+  let arrivals = ref [] in
+  Net.set_handler net 1 (fun r -> arrivals := r.Net.delivered_at :: !arrivals);
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Data ~size_bytes:4000 ());
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Data ~size_bytes:4000 ());
+  Engine.run e;
+  match List.rev !arrivals with
+  | [ a; b ] ->
+    check_bool "second message queues" true (Time.sub b a >= Time.ms 9)
+  | l -> Alcotest.failf "expected 2 deliveries, got %d" (List.length l)
+
+let test_classes_do_not_queue_against_each_other () =
+  let e, net = mk_net () in
+  let arrivals = ref [] in
+  Net.set_handler net 1 (fun r -> arrivals := (r.Net.cls, r.Net.delivered_at) :: !arrivals);
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Data ~size_bytes:40_000 ());
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Control ~size_bytes:100 ());
+  Engine.run e;
+  let control_at =
+    List.assoc Net.Control (List.map (fun (c, t) -> (c, t)) !arrivals)
+  in
+  let data_at = List.assoc Net.Data !arrivals in
+  check_bool "control cuts past the data queue" true (control_at < data_at)
+
+let test_multi_hop () =
+  let e = Engine.create () in
+  let topo = Topology.ring ~n:4 ~bandwidth_bps:1_000_000 ~latency:(Time.us 50) in
+  let net = Net.create e topo () in
+  let got = ref None in
+  Net.set_handler net 2 (fun r -> got := Some r);
+  ignore (Net.send net ~src:0 ~dst:2 ~cls:Net.Data ~size_bytes:100 ());
+  Engine.run e;
+  match !got with
+  | Some r -> check_int "two hops on the ring" 2 r.Net.hops
+  | None -> Alcotest.fail "not delivered"
+
+let test_relay_drop () =
+  let e = Engine.create () in
+  let topo = Topology.ring ~n:4 ~bandwidth_bps:1_000_000 ~latency:(Time.us 50) in
+  let net = Net.create e topo () in
+  let got = ref false in
+  Net.set_handler net 2 (fun _ -> got := true);
+  (* Both ring paths 0->2 pass through 1 or 3; make both drop. *)
+  Net.set_relay_policy net 1 (fun ~src:_ ~dst:_ ~cls:_ -> false);
+  Net.set_relay_policy net 3 (fun ~src:_ ~dst:_ ~cls:_ -> false);
+  ignore (Net.send net ~src:0 ~dst:2 ~cls:Net.Data ~size_bytes:100 ());
+  Engine.run e;
+  check_bool "dropped by Byzantine relay" false !got;
+  check_int "drop counted" 1 (Net.stats net).Net.messages_dropped_by_relay
+
+let test_route_avoid () =
+  let e = Engine.create () in
+  let topo = Topology.ring ~n:4 ~bandwidth_bps:1_000_000 ~latency:(Time.us 50) in
+  let net = Net.create e topo () in
+  let hops = ref 0 in
+  Net.set_handler net 2 (fun r -> hops := r.Net.hops);
+  Net.set_route_avoid net [ 1 ];
+  ignore (Net.send net ~src:0 ~dst:2 ~cls:Net.Data ~size_bytes:100 ());
+  Engine.run e;
+  check_int "routed the long way around" 2 !hops;
+  Net.set_route_avoid net [ 1; 3 ];
+  check_bool "no route left" false
+    (Net.send net ~src:0 ~dst:2 ~cls:Net.Data ~size_bytes:100 ())
+
+let test_transfer_time_matches_delivery () =
+  let e, net = mk_net ~n:4 () in
+  let predicted =
+    match Net.transfer_time net ~src:0 ~dst:3 ~cls:Net.Data ~size_bytes:2500 with
+    | Some t -> t
+    | None -> Alcotest.fail "route expected"
+  in
+  let measured = ref Time.zero in
+  Net.set_handler net 3 (fun r -> measured := r.Net.delivered_at);
+  ignore (Net.send net ~src:0 ~dst:3 ~cls:Net.Data ~size_bytes:2500 ());
+  Engine.run e;
+  check_int "queueing-free prediction exact" predicted !measured
+
+let test_stats_and_accounting () =
+  let e, net = mk_net () in
+  Net.set_handler net 1 (fun _ -> ());
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Data ~size_bytes:300 ());
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Control ~size_bytes:200 ());
+  Engine.run e;
+  let s = Net.stats net in
+  check_int "sent" 2 s.Net.messages_sent;
+  check_int "delivered" 2 s.Net.messages_delivered;
+  check_int "bytes" 500 s.Net.bytes_sent;
+  check_int "data bytes by sender" 300 (Net.bytes_sent_by net 0 Net.Data);
+  check_int "control bytes by sender" 200 (Net.bytes_sent_by net 0 Net.Control)
+
+let test_residual_loss () =
+  let e = Engine.create () in
+  let topo = Topology.fully_connected ~n:2 ~bandwidth_bps:1_000_000 ~latency:(Time.us 1) in
+  let net = Net.create e topo ~residual_loss:1.0 () in
+  let got = ref false in
+  Net.set_handler net 1 (fun _ -> got := true);
+  ignore (Net.send net ~src:0 ~dst:1 ~cls:Net.Data ~size_bytes:10 ());
+  Engine.run e;
+  check_bool "lossy link drops" false !got;
+  check_int "loss counted" 1 (Net.stats net).Net.messages_lost
+
+let prop_clique_routes_exist =
+  QCheck.Test.make ~name:"every pair routes in a clique with <= 1 hop" ~count:50
+    QCheck.(pair (int_range 2 10) (pair (int_bound 9) (int_bound 9)))
+    (fun (n, (a, b)) ->
+      let a = a mod n and b = b mod n in
+      let topo = Topology.fully_connected ~n ~bandwidth_bps:1000 ~latency:1 in
+      match Topology.route topo ~src:a ~dst:b with
+      | Some path -> List.length path = if a = b then 0 else 1
+      | None -> false)
+
+let prop_ring_route_is_shortest =
+  QCheck.Test.make ~name:"ring routes take min(cw, ccw) hops" ~count:100
+    QCheck.(pair (int_range 3 12) (pair (int_bound 11) (int_bound 11)))
+    (fun (n, (a, b)) ->
+      let a = a mod n and b = b mod n in
+      let topo = Topology.ring ~n ~bandwidth_bps:1000 ~latency:1 in
+      let dist = (b - a + n) mod n in
+      let expect = Stdlib.min dist (n - dist) in
+      match Topology.route topo ~src:a ~dst:b with
+      | Some path -> List.length path = expect
+      | None -> false)
+
+let suite =
+  [
+    ("topology validation", `Quick, test_topology_validation);
+    ("topology generators", `Quick, test_generators);
+    ("routing", `Quick, test_routing);
+    ("connectivity without faulty nodes", `Quick, test_connected_without);
+    ("send and receive", `Quick, test_send_receive);
+    ("latency model", `Quick, test_latency_model);
+    ("per-sender queueing", `Quick, test_queueing);
+    ("control class bypasses data queue", `Quick, test_classes_do_not_queue_against_each_other);
+    ("multi-hop store and forward", `Quick, test_multi_hop);
+    ("Byzantine relay drops transit traffic", `Quick, test_relay_drop);
+    ("routing avoids known-faulty relays", `Quick, test_route_avoid);
+    ("transfer_time predicts delivery", `Quick, test_transfer_time_matches_delivery);
+    ("statistics and bandwidth accounting", `Quick, test_stats_and_accounting);
+    ("residual loss drops messages", `Quick, test_residual_loss);
+    QCheck_alcotest.to_alcotest prop_clique_routes_exist;
+    QCheck_alcotest.to_alcotest prop_ring_route_is_shortest;
+  ]

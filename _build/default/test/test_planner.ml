@@ -1,0 +1,333 @@
+open Btr_util
+open Btr_workload
+module Augment = Btr_planner.Augment
+module Planner = Btr_planner.Planner
+module Topology = Btr_net.Topology
+module Schedule = Btr_sched.Schedule
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let topo6 () =
+  Topology.fully_connected ~n:6 ~bandwidth_bps:10_000_000 ~latency:(Time.us 50)
+
+let build ?(f = 1) ?(r = Time.ms 200) ?(tune = Fun.id) g topo =
+  let cfg = tune (Planner.default_config ~f ~recovery_bound:r) in
+  Planner.build cfg g topo
+
+let must_build ?f ?r ?tune g topo =
+  match build ?f ?r ?tune g topo with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "planner failed: %a" Planner.pp_error e
+
+(* Augment *)
+
+let aug_avionics degree =
+  Augment.augment
+    (Generators.avionics ~n_nodes:6)
+    ~nodes:[ 0; 1; 2; 3; 4; 5 ] ~degree ~protect_level:Task.Medium
+    ~checker_overhead:(Time.us 100) ~guard_wcet:(Time.us 200) ~digest_size:32
+
+let test_augment_counts () =
+  let g = Generators.avionics ~n_nodes:6 in
+  let aug = aug_avionics 2 in
+  (* protected = compute tasks with criticality >= Medium *)
+  let protected_count =
+    List.length
+      (List.filter
+         (fun (x : Task.t) ->
+           x.kind = Task.Compute
+           && Task.compare_criticality x.criticality Task.Medium >= 0)
+         (Graph.tasks g))
+  in
+  let expected =
+    Graph.task_count g (* originals incl. lane-0 reuse *)
+    + protected_count (* one extra lane each *)
+    + protected_count (* one checker each *)
+    + 6 (* guards *)
+  in
+  check_int "augmented task count" expected (Graph.task_count aug.Augment.graph);
+  check_int "checkers" protected_count (List.length (Augment.checkers aug));
+  check_int "guards" 6 (List.length (Augment.guards aug))
+
+let test_augment_roles_and_lanes () =
+  let aug = aug_avionics 3 in
+  List.iter
+    (fun (x : Task.t) ->
+      match Augment.role_of aug x.id with
+      | Augment.Replica { orig; lane } ->
+        check_int "lane_of agrees" lane (Augment.lane_of aug x.id);
+        check_int "orig_of agrees" orig (Augment.orig_of aug x.id);
+        check_int "replica group size" 3 (List.length (Augment.replicas_of aug orig))
+      | Augment.Checker { orig } ->
+        check_bool "checker watches a protected task" true
+          (Augment.is_protected aug orig)
+      | Augment.Original | Augment.Guard _ -> ())
+    (Graph.tasks aug.Augment.graph)
+
+let test_augment_digest_flows () =
+  let aug = aug_avionics 2 in
+  let digest_flows = Augment.digest_flow_ids aug in
+  (* one per lane per protected task *)
+  check_int "digest flow count" (2 * List.length (Augment.checkers aug))
+    (List.length digest_flows);
+  List.iter
+    (fun fid ->
+      check_bool "digest flows have no orig flow" true
+        (Augment.orig_flow_of aug fid = None))
+    digest_flows
+
+let test_augment_sinks_get_all_lanes () =
+  let g = Generators.avionics ~n_nodes:6 in
+  let aug = aug_avionics 2 in
+  List.iter
+    (fun (fl : Graph.flow) ->
+      let consumer = Graph.task g fl.consumer in
+      let producer = Graph.task g fl.producer in
+      if consumer.Task.kind = Task.Sink && Augment.is_protected aug producer.Task.id
+      then begin
+        let copies =
+          List.filter
+            (fun (af : Graph.flow) ->
+              Augment.orig_flow_of aug af.flow_id = Some (fl.flow_id, 0)
+              || Augment.orig_flow_of aug af.flow_id = Some (fl.flow_id, 1))
+            (Graph.flows aug.Augment.graph)
+        in
+        check_int "one copy per lane reaches the sink" 2 (List.length copies)
+      end)
+    (Graph.sink_flows g)
+
+let test_augment_degree_one () =
+  let aug = aug_avionics 1 in
+  check_bool "degree-1 keeps original ids" true
+    (List.for_all
+       (fun (x : Task.t) ->
+         match Augment.role_of aug x.id with
+         | Augment.Replica { lane; _ } -> lane = 0
+         | Augment.Original | Augment.Checker _ | Augment.Guard _ -> true)
+       (Graph.tasks aug.Augment.graph))
+
+(* Planner *)
+
+let test_build_avionics () =
+  let s = must_build (Generators.avionics ~n_nodes:6) (topo6 ()) in
+  let st = Planner.stats s in
+  check_int "modes = 1 + n" 7 st.Planner.modes;
+  check_int "transitions = n" 6 st.Planner.transitions;
+  check_bool "admitted within 200ms" true (Planner.admitted s)
+
+let test_replica_separation () =
+  let s = must_build ~f:2 (Generators.avionics ~n_nodes:6) (topo6 ()) in
+  List.iter
+    (fun (p : Planner.plan) ->
+      let aug = p.Planner.aug in
+      List.iter
+        (fun (x : Task.t) ->
+          let lanes = Augment.replicas_of aug x.id in
+          if List.length lanes > 1 then begin
+            let nodes = List.filter_map (Planner.assignment_of p) lanes in
+            check_int "lanes on distinct nodes" (List.length nodes)
+              (List.length (List.sort_uniq Int.compare nodes))
+          end)
+        (Graph.tasks aug.Augment.original))
+    (Planner.all_plans s)
+
+let test_no_tasks_on_faulty_nodes () =
+  let s = must_build ~f:2 (Generators.avionics ~n_nodes:6) (topo6 ()) in
+  List.iter
+    (fun (p : Planner.plan) ->
+      List.iter
+        (fun (_, node) ->
+          check_bool "assignment avoids faulty nodes" false
+            (List.mem node p.Planner.faulty))
+        p.Planner.assignment)
+    (Planner.all_plans s)
+
+let test_schedules_validate () =
+  let s = must_build ~f:1 (Generators.avionics ~n_nodes:6) (topo6 ()) in
+  let cfg = Planner.config s in
+  List.iter
+    (fun (p : Planner.plan) ->
+      let xfer ~src ~dst ~size_bytes =
+        if src = dst then Some Time.zero
+        else
+          Btr_net.Net.plan_transfer_time (topo6 ()) ?shares:cfg.Planner.shares
+            ~avoid:p.Planner.faulty ~cls:Btr_net.Net.Data ~src ~dst ~size_bytes ()
+      in
+      match Schedule.validate p.Planner.schedule p.Planner.aug.Augment.graph ~xfer with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "plan %s invalid: %s"
+          (String.concat "," (List.map string_of_int p.Planner.faulty)) m)
+    (Planner.all_plans s)
+
+let test_lost_pinned_tasks () =
+  let s = must_build ~f:1 (Generators.avionics ~n_nodes:6) (topo6 ()) in
+  match Planner.plan_for s ~faulty:[ 0 ] with
+  | None -> Alcotest.fail "mode {0} missing"
+  | Some p ->
+    (* Node 0 hosts the pitot sensor and the PFD display. *)
+    check_bool "pinned tasks on node 0 are lost" true
+      (List.length p.Planner.lost_tasks >= 2)
+
+let test_transition_minimality () =
+  let g = Generators.avionics ~n_nodes:6 in
+  let minimal = must_build ~f:1 g (topo6 ()) in
+  let naive =
+    must_build ~f:1 ~tune:(fun c -> { c with Planner.reassignment = Planner.Naive })
+      g (topo6 ())
+  in
+  let moved s =
+    List.fold_left
+      (fun acc (tr : Planner.transition) -> acc + List.length tr.Planner.moved)
+      0 (Planner.all_transitions s)
+  in
+  check_bool "minimal reassignment moves no more tasks than naive" true
+    (moved minimal <= moved naive);
+  check_bool "minimal moves strictly less state in total" true
+    ((Planner.stats minimal).Planner.total_moved_state
+    <= (Planner.stats naive).Planner.total_moved_state)
+
+let test_transition_structure () =
+  let s = must_build ~f:1 (Generators.avionics ~n_nodes:6) (topo6 ()) in
+  List.iter
+    (fun (tr : Planner.transition) ->
+      check_bool "new fault joins the mode" true
+        (List.mem tr.Planner.new_fault tr.Planner.to_faulty);
+      check_bool "recovery bound positive" true
+        (Time.compare tr.Planner.recovery_bound Time.zero > 0);
+      List.iter
+        (fun (_, from_node, to_node) ->
+          check_bool "moves change node" true (from_node <> to_node);
+          check_bool "moves land on surviving nodes" false
+            (List.mem to_node tr.Planner.to_faulty))
+        tr.Planner.moved)
+    (Planner.all_transitions s)
+
+let test_shedding_under_pressure () =
+  (* 3 nodes, f = 1: after a fault only 2 nodes remain for an avionics
+     workload with doubled lanes — the best-effort IFE must go. *)
+  let g = Generators.avionics ~n_nodes:4 in
+  let topo = Topology.fully_connected ~n:4 ~bandwidth_bps:10_000_000 ~latency:(Time.us 50) in
+  let s = must_build ~f:1 ~r:(Time.sec 1) g topo in
+  let degraded =
+    List.filter (fun (p : Planner.plan) -> p.Planner.shed_below <> None)
+      (Planner.all_plans s)
+  in
+  (* Shedding is criticality-monotone whenever it happens. *)
+  List.iter
+    (fun (p : Planner.plan) ->
+      match p.Planner.shed_below with
+      | None -> ()
+      | Some floor ->
+        List.iter
+          (fun (x : Task.t) ->
+            check_bool "no kept task below the floor" true
+              (Task.compare_criticality x.criticality floor >= 0))
+          (Graph.tasks p.Planner.aug.Augment.original))
+    (Planner.all_plans s);
+  ignore degraded
+
+let test_plan_for_is_order_insensitive () =
+  let s = must_build ~f:2 (Generators.avionics ~n_nodes:6) (topo6 ()) in
+  let a = Planner.plan_for s ~faulty:[ 1; 3 ] in
+  let b = Planner.plan_for s ~faulty:[ 3; 1 ] in
+  check_bool "same plan" true
+    (match a, b with
+    | Some x, Some y -> x.Planner.faulty = y.Planner.faulty
+    | _ -> false);
+  check_bool "unknown pattern gives None" true (Planner.plan_for s ~faulty:[ 1; 2; 3 ] = None)
+
+let test_bad_configs_rejected () =
+  let g = Generators.avionics ~n_nodes:6 in
+  (match build ~f:5 g (topo6 ()) with
+  | Error (Planner.Bad_config _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Planner.pp_error e
+  | Ok _ -> Alcotest.fail "degree 6 on 1 surviving node should fail");
+  match
+    build ~tune:(fun c -> { c with Planner.degree = 0 }) g (topo6 ())
+  with
+  | Error (Planner.Bad_config _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Planner.pp_error e
+  | Ok _ -> Alcotest.fail "degree 0 should fail"
+
+let test_disconnection_detected () =
+  let g = Generators.scada ~n_nodes:4 in
+  let topo = Topology.star ~n:4 ~hub:3 ~bandwidth_bps:10_000_000 ~latency:(Time.us 50) in
+  match build ~f:1 g topo with
+  | Error (Planner.Disconnected { faulty }) ->
+    check_bool "hub failure disconnects" true (faulty = [ 3 ])
+  | Error e -> Alcotest.failf "wrong error: %a" Planner.pp_error e
+  | Ok _ -> Alcotest.fail "star with faulty hub must be rejected"
+
+let test_unschedulable_detected () =
+  (* Make the workload impossible: single huge compute task per period. *)
+  let src = Task.make ~id:0 ~name:"s" ~kind:Task.Source ~wcet:(Time.us 10) ~pinned:0 () in
+  let heavy =
+    Task.make ~id:1 ~name:"h" ~wcet:(Time.ms 15) ~criticality:Task.Safety_critical ()
+  in
+  let sink = Task.make ~id:2 ~name:"k" ~kind:Task.Sink ~wcet:(Time.us 10) ~pinned:1 () in
+  let g =
+    Graph.create ~period:(Time.ms 10) ~tasks:[ src; heavy; sink ]
+      ~flows:
+        [
+          { Graph.flow_id = 0; producer = 0; consumer = 1; msg_size = 8; deadline = None };
+          { Graph.flow_id = 1; producer = 1; consumer = 2; msg_size = 8; deadline = Some (Time.ms 9) };
+        ]
+  in
+  match build ~f:1 g (topo6 ()) with
+  | Error (Planner.Unschedulable _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Planner.pp_error e
+  | Ok _ -> Alcotest.fail "15ms task in a 10ms period should be unschedulable"
+
+let prop_random_workloads_plan_and_validate =
+  QCheck.Test.make
+    ~name:"random workloads: every mode's schedule passes independent validation"
+    ~count:25
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        Generators.random_layered ~rng ~n_nodes:5 ~layers:2 ~width:3
+          ~utilization_target:0.8 ()
+      in
+      let topo =
+        Topology.fully_connected ~n:5 ~bandwidth_bps:20_000_000 ~latency:(Time.us 20)
+      in
+      match build ~f:1 ~r:(Time.sec 1) g topo with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+        let cfg = Planner.config s in
+        List.for_all
+          (fun (p : Planner.plan) ->
+            let xfer ~src ~dst ~size_bytes =
+              if src = dst then Some Time.zero
+              else
+                Btr_net.Net.plan_transfer_time topo ?shares:cfg.Planner.shares
+                  ~avoid:p.Planner.faulty ~cls:Btr_net.Net.Data ~src ~dst
+                  ~size_bytes ()
+            in
+            Schedule.validate p.Planner.schedule p.Planner.aug.Augment.graph ~xfer
+            = Ok ())
+          (Planner.all_plans s))
+
+let suite =
+  [
+    ("augment: task counts", `Quick, test_augment_counts);
+    ("augment: roles and lanes consistent", `Quick, test_augment_roles_and_lanes);
+    ("augment: digest flows wired to checkers", `Quick, test_augment_digest_flows);
+    ("augment: sinks receive every lane", `Quick, test_augment_sinks_get_all_lanes);
+    ("augment: degree one is the identity on ids", `Quick, test_augment_degree_one);
+    ("build avionics strategy", `Quick, test_build_avionics);
+    ("replica lanes on distinct nodes", `Quick, test_replica_separation);
+    ("no tasks on faulty nodes", `Quick, test_no_tasks_on_faulty_nodes);
+    ("every mode's schedule validates", `Quick, test_schedules_validate);
+    ("pinned tasks on faulty nodes are lost", `Quick, test_lost_pinned_tasks);
+    ("minimal reassignment beats naive", `Quick, test_transition_minimality);
+    ("transition structure", `Quick, test_transition_structure);
+    ("shedding is criticality-monotone", `Quick, test_shedding_under_pressure);
+    ("plan lookup ignores order", `Quick, test_plan_for_is_order_insensitive);
+    ("bad configs rejected", `Quick, test_bad_configs_rejected);
+    ("disconnection detected", `Quick, test_disconnection_detected);
+    ("unschedulable workloads detected", `Quick, test_unschedulable_detected);
+    QCheck_alcotest.to_alcotest prop_random_workloads_plan_and_validate;
+  ]

@@ -1,0 +1,159 @@
+open Btr_util
+open Btr_plant
+
+let check_bool = Alcotest.(check bool)
+
+(* Run a plant under periodic control, with an optional outage window
+   during which the controller stops updating the input. *)
+let run_controlled ?(outage = None) ~model ~horizon ~ctl_period () =
+  let m = model () in
+  let p = Plant.create m ~dt:(Time.ms 1) in
+  let ctl = Plant.Controller.default_for m in
+  let dt_s = Time.to_sec_f ctl_period in
+  let rec loop t =
+    if Time.compare t horizon >= 0 then ()
+    else begin
+      Plant.advance p ~until:t;
+      let controlled =
+        match outage with
+        | Some (o_start, o_end) -> Time.compare t o_start < 0 || Time.compare t o_end >= 0
+        | None -> true
+      in
+      if controlled then begin
+        let u = Plant.Controller.compute ctl ~dt_s ~measurement:(Plant.state p) in
+        Plant.set_input p u
+      end;
+      loop (Time.add t ctl_period)
+    end
+  in
+  loop Time.zero;
+  Plant.advance p ~until:horizon;
+  p
+
+let test_pendulum_stabilizes () =
+  let p =
+    run_controlled ~model:Plant.inverted_pendulum ~horizon:(Time.sec 5)
+      ~ctl_period:(Time.ms 20) ()
+  in
+  check_bool "stays in envelope" true (Time.equal (Plant.time_outside_envelope p) Time.zero);
+  check_bool "converges near upright" true (Float.abs (Plant.output p) < 0.02)
+
+let test_pendulum_diverges_without_control () =
+  let m = Plant.inverted_pendulum () in
+  let p = Plant.create m ~dt:(Time.ms 1) in
+  Plant.advance p ~until:(Time.sec 5);
+  check_bool "leaves envelope uncontrolled" false (Plant.in_envelope p);
+  check_bool "fails hard eventually" true (Plant.failed p)
+
+let test_pendulum_tolerates_short_outage () =
+  let p =
+    run_controlled
+      ~outage:(Some (Time.sec 1, Time.add (Time.sec 1) (Time.ms 150)))
+      ~model:Plant.inverted_pendulum ~horizon:(Time.sec 5)
+      ~ctl_period:(Time.ms 20) ()
+  in
+  check_bool "150ms outage tolerated" true
+    (Time.equal (Plant.time_outside_envelope p) Time.zero)
+
+let test_pendulum_killed_by_long_outage () =
+  (* Outage starts at 100ms, while the pendulum is still well away from
+     the (unstable) equilibrium; the held control input then drives it
+     out of the envelope well before control returns at t = 3s. *)
+  let p =
+    run_controlled
+      ~outage:(Some (Time.ms 100, Time.sec 3))
+      ~model:Plant.inverted_pendulum ~horizon:(Time.sec 4)
+      ~ctl_period:(Time.ms 20) ()
+  in
+  check_bool "long outage exceeds inertia" true
+    (Time.compare (Plant.time_outside_envelope p) Time.zero > 0)
+
+let test_vessel_five_second_rule () =
+  (* The pressure vessel is the "five-second" plant: even a 5s outage
+     with the valve shut keeps pressure under the envelope... *)
+  let p =
+    run_controlled
+      ~outage:(Some (Time.sec 2, Time.sec 7))
+      ~model:(fun () -> Plant.pressure_vessel ())
+      ~horizon:(Time.sec 20) ~ctl_period:(Time.ms 50) ()
+  in
+  check_bool "5s outage tolerated" true
+    (Time.equal (Plant.time_outside_envelope p) Time.zero);
+  (* ...but a 30s outage is not. *)
+  let p2 =
+    run_controlled
+      ~outage:(Some (Time.sec 2, Time.sec 32))
+      ~model:(fun () -> Plant.pressure_vessel ())
+      ~horizon:(Time.sec 40) ~ctl_period:(Time.ms 50) ()
+  in
+  check_bool "30s outage ruptures" true
+    (Time.compare (Plant.time_outside_envelope p2) Time.zero > 0)
+
+let test_cruise_control_holds_speed () =
+  let p =
+    run_controlled
+      ~model:(fun () -> Plant.cruise_control ())
+      ~horizon:(Time.sec 10) ~ctl_period:(Time.ms 100) ()
+  in
+  check_bool "speed in envelope" true
+    (Time.equal (Plant.time_outside_envelope p) Time.zero);
+  check_bool "near set point" true (Float.abs (Plant.output p -. 30.0) < 1.0)
+
+let test_excursion_monotone_in_outage () =
+  let excursion outage_ms =
+    let p =
+      run_controlled
+        ~outage:(Some (Time.sec 1, Time.add (Time.sec 1) (Time.ms outage_ms)))
+        ~model:Plant.inverted_pendulum ~horizon:(Time.sec 3)
+        ~ctl_period:(Time.ms 20) ()
+    in
+    Plant.max_excursion p
+  in
+  let e0 = excursion 0 and e100 = excursion 100 and e300 = excursion 300 in
+  check_bool "longer outage, larger excursion" true (e0 <= e100 && e100 <= e300)
+
+let test_input_hold () =
+  let m = Plant.pressure_vessel () in
+  let p = Plant.create m ~dt:(Time.ms 10) in
+  Plant.set_input p 1.0;
+  Alcotest.(check (float 1e-9)) "input holds" 1.0 (Plant.input p);
+  let before = Plant.output p in
+  Plant.advance p ~until:(Time.sec 1);
+  check_bool "valve open drains pressure" true (Plant.output p < before)
+
+let test_advance_is_incremental () =
+  let m = Plant.cruise_control () in
+  let a = Plant.create m ~dt:(Time.ms 1) in
+  let b = Plant.create m ~dt:(Time.ms 1) in
+  Plant.set_input a 2000.0;
+  Plant.set_input b 2000.0;
+  Plant.advance a ~until:(Time.sec 2);
+  Plant.advance b ~until:(Time.sec 1);
+  Plant.advance b ~until:(Time.sec 2);
+  Alcotest.(check (float 1e-9)) "split advance equals one advance"
+    (Plant.output a) (Plant.output b)
+
+let prop_pendulum_envelope_distance_consistent =
+  QCheck.Test.make
+    ~name:"envelope distance > 1 exactly when outside envelope" ~count:200
+    QCheck.(pair (float_range (-1.0) 1.0) (float_range (-2.0) 2.0))
+    (fun (theta, omega) ->
+      let m = Plant.inverted_pendulum () in
+      let state = [| theta; omega |] in
+      let inside = m.Plant.in_envelope state in
+      let d = m.Plant.envelope_distance state in
+      if inside then d <= 1.0 +. 1e-9 else d > 1.0 -. 1e-9)
+
+let suite =
+  [
+    ("pendulum stabilizes under control", `Quick, test_pendulum_stabilizes);
+    ("pendulum diverges without control", `Quick, test_pendulum_diverges_without_control);
+    ("pendulum tolerates a short outage", `Quick, test_pendulum_tolerates_short_outage);
+    ("pendulum lost after a long outage", `Quick, test_pendulum_killed_by_long_outage);
+    ("pressure vessel obeys the five-second rule", `Quick, test_vessel_five_second_rule);
+    ("cruise control holds speed", `Quick, test_cruise_control_holds_speed);
+    ("excursion grows with outage length", `Quick, test_excursion_monotone_in_outage);
+    ("zero-order hold input", `Quick, test_input_hold);
+    ("advance is incremental", `Quick, test_advance_is_incremental);
+    QCheck_alcotest.to_alcotest prop_pendulum_envelope_distance_consistent;
+  ]

@@ -58,6 +58,63 @@ let parse_fault s =
 
 let fault_conv = Arg.conv (parse_fault, fun ppf _ -> Format.fprintf ppf "<fault>")
 
+(* Observability plumbing shared by `run` and the default demo. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Stream every telemetry event to $(docv) as JSON lines.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the metric registry (counters/gauges) to $(docv) as JSON.")
+
+(* Build the context the deployment reports through, run [k] with it,
+   then flush the sinks. --metrics without --trace still needs a fresh
+   context so the counters are not shared with unrelated runs. *)
+let with_obs ~trace ~metrics k =
+  try
+    let oc = Option.map open_out trace in
+    let obs =
+      match oc with
+      | Some oc -> Some (Btr_obs.Obs.with_jsonl oc)
+      | None -> Option.map (fun _ -> Btr_obs.Obs.create ()) metrics
+    in
+    let code = k obs in
+    Option.iter
+      (fun obs ->
+        Btr_obs.Obs.flush obs;
+        Option.iter
+          (fun file ->
+            let mc = open_out file in
+            output_string mc (Btr_obs.Obs.metrics_json obs);
+            output_char mc '\n';
+            close_out mc)
+          metrics)
+      obs;
+    Option.iter close_out oc;
+    code
+  with Sys_error m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+
+let report rt ~r =
+  let m = Btr.Runtime.metrics rt in
+  Format.printf "%a@." Btr.Metrics.pp_summary m;
+  List.iter
+    (fun (t, node, mode) ->
+      Format.printf "t=%a: node %d -> mode {%s}@." Time.pp t node
+        (String.concat "," (List.map string_of_int mode)))
+    (Btr.Runtime.mode_changes rt);
+  List.iteri
+    (fun i rec_t ->
+      Format.printf "fault %d recovery: %a (R = %dms)@." (i + 1) Time.pp rec_t r)
+    (Btr.Metrics.recovery_times m)
+
 (* Common options *)
 let workload_arg =
   Arg.(value & opt string "avionics" & info [ "workload"; "w" ] ~doc:"Workload: avionics, scada or random.")
@@ -121,35 +178,25 @@ let plan_cmd =
 
 let run_cmd =
   let doc = "Deploy a strategy on the simulator and inject faults." in
-  let run workload topology nodes f r seed faults horizon_ms =
+  let run workload topology nodes f r seed faults horizon_ms trace metrics =
     match build_strategy workload topology nodes f r seed with
     | Error m ->
       Printf.eprintf "error: %s\n" m;
       1
-    | Ok (g, topo, _) -> (
-      let s =
-        Btr.Scenario.spec ~workload:g ~topology:topo ~f
-          ~recovery_bound:(Time.ms r) ~script:faults
-          ~horizon:(Time.ms horizon_ms) ~seed ()
-      in
-      match Btr.Scenario.run s with
-      | Error e ->
-        Format.eprintf "error: %a@." Planner.pp_error e;
-        1
-      | Ok rt ->
-        let m = Btr.Runtime.metrics rt in
-        Format.printf "%a@." Btr.Metrics.pp_summary m;
-        List.iter
-          (fun (t, node, mode) ->
-            Format.printf "t=%a: node %d -> mode {%s}@." Time.pp t node
-              (String.concat "," (List.map string_of_int mode)))
-          (Btr.Runtime.mode_changes rt);
-        List.iteri
-          (fun i rec_t ->
-            Format.printf "fault %d recovery: %a (R = %dms)@." (i + 1) Time.pp
-              rec_t r)
-          (Btr.Metrics.recovery_times m);
-        0)
+    | Ok (g, topo, _) ->
+      with_obs ~trace ~metrics (fun obs ->
+          let s =
+            Btr.Scenario.spec ~workload:g ~topology:topo ~f
+              ~recovery_bound:(Time.ms r) ~script:faults
+              ~horizon:(Time.ms horizon_ms) ~seed ?obs ()
+          in
+          match Btr.Scenario.run s with
+          | Error e ->
+            Format.eprintf "error: %a@." Planner.pp_error e;
+            1
+          | Ok rt ->
+            report rt ~r;
+            0)
   in
   let faults =
     Arg.(
@@ -162,7 +209,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ topology_arg $ nodes_arg $ f_arg $ r_arg
-      $ seed_arg $ faults $ horizon)
+      $ seed_arg $ faults $ horizon $ trace_arg $ metrics_arg)
 
 let workloads_cmd =
   let doc = "List built-in workloads and show their structure." in
@@ -177,7 +224,23 @@ let workloads_cmd =
   in
   Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ nodes_arg $ seed_arg)
 
+(* With no subcommand, run the demo deployment: handy for producing a
+   full trace (`btr --trace t.jsonl`) without memorizing options. *)
+let demo_term =
+  let run seed trace metrics =
+    with_obs ~trace ~metrics (fun obs ->
+        match Btr.Scenario.run (Btr.Scenario.avionics_demo ~seed ?obs ()) with
+        | Error e ->
+          Format.eprintf "error: %a@." Planner.pp_error e;
+          1
+        | Ok rt ->
+          report rt ~r:200;
+          0)
+  in
+  Term.(const run $ seed_arg $ trace_arg $ metrics_arg)
+
 let () =
   let doc = "bounded-time recovery for cyber-physical systems" in
   let info = Cmd.info "btr" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ plan_cmd; run_cmd; workloads_cmd ]))
+  exit
+    (Cmd.eval' (Cmd.group ~default:demo_term info [ plan_cmd; run_cmd; workloads_cmd ]))

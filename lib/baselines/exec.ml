@@ -8,6 +8,7 @@ module Fault = Btr_fault.Fault
 module Behavior = Btr.Behavior
 module Golden = Btr.Golden
 module Metrics = Btr.Metrics
+module Obs = Btr_obs.Obs
 
 type style =
   | Unreplicated
@@ -31,6 +32,8 @@ type msg =
 
 type t = {
   eng : Engine.t;
+  obs : Obs.t;
+  exec_count : Obs.Counter.t;
   net : msg Net.t;
   topo : Topology.t;
   workload : Graph.t;
@@ -200,7 +203,14 @@ let rec try_execute t node tid period =
       let x = Graph.task t.workload tid in
       charge_cpu t node x.Task.wcet (fun () ->
           if node_running t node then begin
-            if x.Task.kind = Task.Compute then t.executions <- t.executions + 1;
+            if x.Task.kind = Task.Compute then begin
+              t.executions <- t.executions + 1;
+              Obs.Counter.incr t.exec_count
+            end;
+            if Obs.enabled t.obs then
+              Obs.emit t.obs ~at:(Engine.now t.eng) ~node Obs.Baseline
+                (Obs.Lane_exec
+                   { task = tid; period; role = style_name t.style });
             match Behavior.find t.behaviors tid ~period ~inputs with
             | None -> ()
             | Some value ->
@@ -308,6 +318,9 @@ and accept_check t node flow period =
 and activate_standbys t task period =
   if not (Hashtbl.mem t.activated (task, period)) then begin
     Hashtbl.replace t.activated (task, period) ();
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~at:(Engine.now t.eng) Obs.Baseline
+        (Obs.Standby_activated { task; period });
     List.iter
       (fun sb -> send t ~src:sb ~dst:sb ~size:32 (Activate { task; period }))
       (standby t task)
@@ -363,6 +376,12 @@ let audit t =
         t.byz []
     in
     if newly <> [] then begin
+      if Obs.enabled t.obs then
+        List.iter
+          (fun node ->
+            Obs.emit t.obs ~at:(Engine.now t.eng) ~node Obs.Baseline
+              (Obs.Audit_exposed { node }))
+          newly;
       t.exposed <- newly @ t.exposed;
       assign_groups t.workload t.topo t.style ~exclude:t.exposed
         ~into_groups:t.groups ~into_standbys:t.standbys;
@@ -370,9 +389,10 @@ let audit t =
     end
   | Unreplicated | Pbft _ | Zz _ -> ()
 
-let run ?(seed = 1) ?(behaviors = []) ~workload ~topology ~style ~script
+let run ?(seed = 1) ?(behaviors = []) ?obs ~workload ~topology ~style ~script
     ~horizon () =
-  let eng = Engine.create ~seed () in
+  let eng = Engine.create ~seed ?obs () in
+  let obs = Engine.obs eng in
   let net = Net.create eng topology () in
   let table = Behavior.table workload ~overrides:behaviors in
   let groups = Hashtbl.create 32 and standbys = Hashtbl.create 32 in
@@ -381,13 +401,15 @@ let run ?(seed = 1) ?(behaviors = []) ~workload ~topology ~style ~script
   let t =
     {
       eng;
+      obs;
+      exec_count = Obs.Registry.counter (Obs.registry obs) Obs.Baseline "executions";
       net;
       topo = topology;
       workload;
       style;
       behaviors = table;
       golden = Golden.create workload table;
-      metrics = Metrics.create workload;
+      metrics = Metrics.create ~obs workload;
       period_len = Graph.period workload;
       horizon;
       groups;

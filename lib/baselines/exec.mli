@@ -47,6 +47,7 @@ type t
 val run :
   ?seed:int ->
   ?behaviors:(Task.id * Btr.Behavior.fn) list ->
+  ?obs:Btr_obs.Obs.t ->
   workload:Graph.t ->
   topology:Topology.t ->
   style:style ->

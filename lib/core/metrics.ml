@@ -1,5 +1,6 @@
 open Btr_util
 module Graph = Btr_workload.Graph
+module Obs = Btr_obs.Obs
 
 type status = Correct | Wrong | Missing | Late | Shed
 
@@ -10,6 +11,13 @@ let status_char = function
   | Late -> 'L'
   | Shed -> 'S'
 
+let status_name = function
+  | Correct -> "correct"
+  | Wrong -> "wrong"
+  | Missing -> "missing"
+  | Late -> "late"
+  | Shed -> "shed"
+
 type delivery = { value : float array; arrived : Time.t; lane : int }
 
 type t = {
@@ -17,6 +25,8 @@ type t = {
   period_len : Time.t;
   sink_flows : Graph.flow list;
   protected_ids : int list;
+  obs : Obs.t;
+  verdict_counters : Obs.Counter.t array;  (* indexed like [status] *)
   deliveries : (int * int, delivery) Hashtbl.t;
   shed : (int * int, unit) Hashtbl.t;
   statuses : (int * int, status) Hashtbl.t;
@@ -24,18 +34,31 @@ type t = {
   mutable rev_injections : (Time.t * int * string) list;
 }
 
-let create ?protected_flows graph =
+let status_index = function
+  | Correct -> 0
+  | Wrong -> 1
+  | Missing -> 2
+  | Late -> 3
+  | Shed -> 4
+
+let create ?(obs = Obs.null) ?protected_flows graph =
   let sink_flows = Graph.sink_flows graph in
   let protected_ids =
     match protected_flows with
     | Some l -> l
     | None -> List.map (fun (f : Graph.flow) -> f.flow_id) sink_flows
   in
+  let reg = Obs.registry obs in
   {
     graph;
     period_len = Graph.period graph;
     sink_flows;
     protected_ids;
+    obs;
+    verdict_counters =
+      Array.map
+        (fun s -> Obs.Registry.counter reg Obs.Runtime ("verdicts." ^ s))
+        [| "correct"; "wrong"; "missing"; "late"; "shed" |];
     deliveries = Hashtbl.create 256;
     shed = Hashtbl.create 64;
     statuses = Hashtbl.create 256;
@@ -44,13 +67,24 @@ let create ?protected_flows graph =
   }
 
 let record_injection t ~at ~node ~what =
-  t.rev_injections <- (at, node, what) :: t.rev_injections
+  t.rev_injections <- (at, node, what) :: t.rev_injections;
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~at ~node Obs.Fault (Obs.Fault_injected { behavior = what })
 
 let record_delivery t ~orig_flow ~period ~value ~arrived ~lane =
-  if not (Hashtbl.mem t.deliveries (orig_flow, period)) then
-    Hashtbl.replace t.deliveries (orig_flow, period) { value; arrived; lane }
+  if not (Hashtbl.mem t.deliveries (orig_flow, period)) then begin
+    Hashtbl.replace t.deliveries (orig_flow, period) { value; arrived; lane };
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~at:arrived Obs.Runtime
+        (Obs.Delivery { flow = orig_flow; period; lane })
+  end
 
 let record_shed t ~orig_flow ~period =
+  if (not (Hashtbl.mem t.shed (orig_flow, period))) && Obs.enabled t.obs then
+    Obs.emit t.obs
+      ~at:(Time.mul t.period_len (period + 1))
+      Obs.Runtime
+      (Obs.Shed { flow = orig_flow; period });
   Hashtbl.replace t.shed (orig_flow, period) ()
 
 let judge t golden (f : Graph.flow) period =
@@ -77,9 +111,20 @@ let judge t golden (f : Graph.flow) period =
   end
 
 let finalize_period t ~golden ~period =
+  let verdict_at = Time.mul t.period_len (period + 1) in
   List.iter
     (fun (f : Graph.flow) ->
-      Hashtbl.replace t.statuses (f.flow_id, period) (judge t golden f period))
+      let s = judge t golden f period in
+      (* A period is judged once; guard against double-counting if a
+         caller re-finalizes. *)
+      if not (Hashtbl.mem t.statuses (f.flow_id, period)) then begin
+        Obs.Counter.incr t.verdict_counters.(status_index s);
+        if Obs.enabled t.obs then
+          Obs.emit t.obs ~at:verdict_at Obs.Runtime
+            (Obs.Verdict
+               { flow = f.flow_id; period; status = status_name s })
+      end;
+      Hashtbl.replace t.statuses (f.flow_id, period) s)
     t.sink_flows;
   if period >= t.finalized then t.finalized <- period + 1
 

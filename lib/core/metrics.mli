@@ -16,14 +16,20 @@ type status = Correct | Wrong | Missing | Late | Shed
 val status_char : status -> char
 (** [C W M L S] — compact timelines in logs and tests. *)
 
+val status_name : status -> string
+(** Lowercase stable name ([correct], [wrong], …) used in telemetry. *)
+
 type t
 
-val create : ?protected_flows:int list -> Graph.t -> t
+val create : ?obs:Btr_obs.Obs.t -> ?protected_flows:int list -> Graph.t -> t
 (** Takes the original workload; follows all its sink flows.
     [protected_flows] (default: all sink flows) are the outputs the
     strategy actually replicates and detects on; the BTR guarantee —
     and hence {!incorrect_time} and {!recovery_times} — is stated over
-    those, while per-flow timelines cover everything. *)
+    those, while per-flow timelines cover everything. [obs] (default
+    null) receives [Fault_injected]/[Delivery]/[Shed]/[Verdict] events
+    and the per-status [runtime.verdicts.*] counters, incremented once
+    per (flow, period) on first judgment. *)
 
 val record_injection : t -> at:Time.t -> node:int -> what:string -> unit
 

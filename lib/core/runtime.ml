@@ -13,6 +13,7 @@ module Authlog = Btr_evidence.Authlog
 module Detect = Btr_detect.Detect
 module Modeswitch = Btr_modeswitch.Modeswitch
 module Fault = Btr_fault.Fault
+module Obs = Btr_obs.Obs
 
 type config = {
   seed : int;
@@ -65,6 +66,8 @@ type node = {
   authlog : Authlog.t;
   mutable checkpoints : Authlog.checkpoint list;
   mutable byz : Fault.behavior option;
+  mutable staged_at : Time.t;
+      (* when the pending plan was staged; measures §4.4 switch latency *)
   mutable running : bool;
   mutable plan_since : int;
       (* first period index executed under the current plan; guards
@@ -77,6 +80,7 @@ type node = {
 type t = {
   config : config;
   eng : Engine.t;
+  obs : Obs.t;
   auth : Auth.t;
   net : msg Net.t;
   strategy : Planner.t;
@@ -97,6 +101,7 @@ type t = {
 let metrics t = t.metrics
 let golden t = t.golden
 let engine t = t.eng
+let obs t = t.obs
 let net_stats t = Net.stats t.net
 let strategy t = t.strategy
 
@@ -127,9 +132,10 @@ let on_actuate t ~orig_flow fn = Hashtbl.replace t.actuators orig_flow fn
 (* ------------------------------------------------------------------ *)
 (* Creation                                                             *)
 
-let create ?(config = default_config) ?(behaviors = []) ?(script = [])
+let create ?(config = default_config) ?(behaviors = []) ?(script = []) ?obs
     ~strategy () =
-  let eng = Engine.create ~seed:config.seed () in
+  let eng = Engine.create ~seed:config.seed ?obs () in
+  let obs = Engine.obs eng in
   let auth = Auth.create () in
   let topo = Planner.topology strategy in
   let shares = (Planner.config strategy).Planner.shares in
@@ -163,15 +169,16 @@ let create ?(config = default_config) ?(behaviors = []) ?(script = [])
           acks = Hashtbl.create 64;
           watchdog =
             Detect.Watchdog.create ~node:id ~margin
-              ~strikes:config.omission_strikes ();
+              ~strikes:config.omission_strikes ~obs ();
           attribution = Detect.Attribution.create ~threshold:(f + 1);
           fault_set = Modeswitch.Fault_set.create ();
-          dist = Evidence.Distributor.create ~node:id;
+          dist = Evidence.Distributor.create ~node:id ~obs ();
           invalid_by_src = Hashtbl.create 4;
           accused_forgers = Hashtbl.create 4;
           authlog = Authlog.create ~owner:id;
           checkpoints = [];
           byz = None;
+          staged_at = Time.zero;
           running = true;
           plan_since = 0;
           grace_until = Time.zero;
@@ -180,6 +187,7 @@ let create ?(config = default_config) ?(behaviors = []) ?(script = [])
   {
     config;
     eng;
+    obs;
     auth;
     net;
     strategy;
@@ -198,7 +206,7 @@ let create ?(config = default_config) ?(behaviors = []) ?(script = [])
              else None)
            (Graph.sink_flows workload)
        in
-       Metrics.create ~protected_flows workload);
+       Metrics.create ~obs ~protected_flows workload);
     nodes;
     script;
     actuators = Hashtbl.create 8;
@@ -281,7 +289,11 @@ let maybe_switch_mode t (n : node) =
         actions;
       n.pending <- Some next;
       n.pending_waited <- 0;
-      n.awaiting_state <- !awaiting
+      n.awaiting_state <- !awaiting;
+      n.staged_at <- Engine.now t.eng;
+      if Obs.enabled t.obs then
+        Obs.emit t.obs ~at:(Engine.now t.eng) ~node:n.id Obs.Modeswitch
+          (Obs.Mode_staged { faulty = next.Planner.faulty })
 
 (* Apply a fresh, valid statement to the local fault view. Node
    accusations extend the fault set directly; path declarations feed
@@ -309,9 +321,21 @@ let apply_statement t (n : node) (s : Evidence.statement) =
 let emit_evidence t (n : node) (s : Evidence.statement) =
   if n.running then begin
     let r = Evidence.sign t.auth n.secret s in
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~at:(Engine.now t.eng) ~node:n.id Obs.Evidence
+        (Obs.Evidence_emitted
+           {
+             accused = Evidence.accused_name s.Evidence.accused;
+             fault_class =
+               Format.asprintf "%a" Evidence.pp_fault_class
+                 s.Evidence.fault_class;
+             period = s.Evidence.period;
+           });
     ignore
       (Engine.schedule_in t.eng ~delay:(Auth.sign_cost t.auth) (fun _ ->
-           match Evidence.Distributor.admit n.dist t.auth r with
+           match
+             Evidence.Distributor.admit ~now:(Engine.now t.eng) n.dist t.auth r
+           with
            | Evidence.Distributor.Fresh ->
              apply_statement t n s;
              flood_record t n r
@@ -334,7 +358,7 @@ let statement t (n : node) ~accused ~fault_class ~period ~detail =
    persistent forger is itself accused — §4.3's defense against
    bogus-evidence floods. *)
 let receive_evidence t (n : node) ~src r =
-  match Evidence.Distributor.admit n.dist t.auth r with
+  match Evidence.Distributor.admit ~now:(Engine.now t.eng) n.dist t.auth r with
   | Evidence.Distributor.Fresh ->
     apply_statement t n r.Evidence.statement;
     flood_record t n r
@@ -564,6 +588,9 @@ let run_checker t (n : node) plan tid period =
                 | Some v ->
                   Int64.equal (Behavior.value_digest v) claimed.digest
               in
+              if Obs.enabled t.obs then
+                Obs.emit t.obs ~at:(Engine.now t.eng) ~node:n.id Obs.Detect
+                  (Obs.Checker_replay { task = orig; lane; period; ok });
               if not ok then
                 emit_evidence t n
                   (statement t n ~accused:(Evidence.Node lane_node)
@@ -644,15 +671,31 @@ let run_sink t (n : node) plan tid period =
         | None -> ()))
     groups
 
+let role_name = function
+  | Augment.Original -> "original"
+  | Augment.Replica _ -> "replica"
+  | Augment.Checker _ -> "checker"
+  | Augment.Guard _ -> "guard"
+
 let exec_task t (n : node) plan tid period =
-  if n.running && n.plan == plan then
-    match Augment.role_of plan.Planner.aug tid with
+  if n.running && n.plan == plan then begin
+    let role = Augment.role_of plan.Planner.aug tid in
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~at:(Engine.now t.eng) ~node:n.id Obs.Runtime
+        (Obs.Lane_exec
+           {
+             task = Augment.orig_of plan.Planner.aug tid;
+             period;
+             role = role_name role;
+           });
+    match role with
     | Augment.Guard _ -> ()
     | Augment.Checker _ -> run_checker t n plan tid period
     | Augment.Original | Augment.Replica _ ->
       let task = Graph.task plan.Planner.aug.Augment.graph tid in
       if task.Task.kind = Task.Sink then run_sink t n plan tid period
       else run_compute_task t n plan tid period
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Message reception                                                    *)
@@ -783,7 +826,14 @@ let activate_pending t (n : node) =
       n.plan_since <- Engine.now t.eng / t.period_len;
       n.grace_until <- Time.add (Engine.now t.eng) (Time.mul t.period_len 2);
       t.rev_mode_changes <-
-        (Engine.now t.eng, n.id, next.Planner.faulty) :: t.rev_mode_changes
+        (Engine.now t.eng, n.id, next.Planner.faulty) :: t.rev_mode_changes;
+      if Obs.enabled t.obs then
+        Obs.emit t.obs ~at:(Engine.now t.eng) ~node:n.id Obs.Modeswitch
+          (Obs.Mode_activated
+             {
+               faulty = next.Planner.faulty;
+               latency = Time.sub (Engine.now t.eng) n.staged_at;
+             })
     end
     else n.pending_waited <- n.pending_waited + 1
 

@@ -57,12 +57,20 @@ val create :
   ?config:config ->
   ?behaviors:(Task.id * Behavior.fn) list ->
   ?script:Fault.script ->
+  ?obs:Btr_obs.Obs.t ->
   strategy:Planner.t ->
   unit ->
   t
 (** Builds engine, network, keys, nodes (all starting in the fault-free
     plan) and schedules the fault script. [behaviors] override the
-    default synthetic behaviours of the original workload. *)
+    default synthetic behaviours of the original workload. [obs]
+    (default: a fresh null-sink context) is threaded through every
+    layer — engine, network, watchdogs, evidence distributors, metrics —
+    and receives the full event stream when a recording sink is
+    attached; its registry carries the counters either way. *)
+
+val obs : t -> Btr_obs.Obs.t
+(** The observability context every layer of this runtime reports to. *)
 
 val on_actuate :
   t -> orig_flow:int -> (period:int -> value:float array -> at:Time.t -> unit) -> unit

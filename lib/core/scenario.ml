@@ -15,16 +15,43 @@ type spec = {
   seed : int;
   behaviors : (Task.id * Behavior.fn) list;
   tune : Planner.config -> Planner.config;
+  obs : Btr_obs.Obs.t option;
 }
 
 let spec ~workload ~topology ~f ~recovery_bound ?(script = []) ?horizon
-    ?(seed = 1) ?(behaviors = []) ?(tune = Fun.id) () =
+    ?(seed = 1) ?(behaviors = []) ?(tune = Fun.id) ?obs () =
   let horizon =
     match horizon with
     | Some h -> h
     | None -> Time.mul (Graph.period workload) 100
   in
-  { workload; topology; f; recovery_bound; script; horizon; seed; behaviors; tune }
+  {
+    workload;
+    topology;
+    f;
+    recovery_bound;
+    script;
+    horizon;
+    seed;
+    behaviors;
+    tune;
+    obs;
+  }
+
+(* The stack's "hello world": the avionics workload on a 6-node clique,
+   one corrupt node injected mid-run, recovering within R = 200ms. The
+   CLI's default command and the trace examples in the docs use it, so
+   its telemetry exercises every subsystem. *)
+let avionics_demo ?(seed = 1) ?obs () =
+  let workload = Btr_workload.Generators.avionics ~n_nodes:6 in
+  let topology =
+    Topology.fully_connected ~n:6 ~bandwidth_bps:10_000_000
+      ~latency:(Time.us 50)
+  in
+  spec ~workload ~topology ~f:1 ~recovery_bound:(Time.ms 200)
+    ~script:
+      [ { Fault.at = Time.ms 250; node = 3; behavior = Fault.Corrupt_outputs } ]
+    ~horizon:(Time.sec 1) ~seed ?obs ()
 
 let plan s =
   let cfg = s.tune (Planner.default_config ~f:s.f ~recovery_bound:s.recovery_bound) in
@@ -35,7 +62,9 @@ let prepare s =
   | Error e -> Error e
   | Ok strategy ->
     let config = { Runtime.default_config with seed = s.seed } in
-    Ok (Runtime.create ~config ~behaviors:s.behaviors ~script:s.script ~strategy ())
+    Ok
+      (Runtime.create ~config ~behaviors:s.behaviors ~script:s.script
+         ?obs:s.obs ~strategy ())
 
 let run s =
   match prepare s with

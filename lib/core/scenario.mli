@@ -22,6 +22,9 @@ type spec = {
   behaviors : (Task.id * Behavior.fn) list;
   tune : Planner.config -> Planner.config;
       (** applied to the default planner config before building *)
+  obs : Btr_obs.Obs.t option;
+      (** observability context handed to {!Runtime.create}; [None]
+          means the runtime's default (fresh null sink) *)
 }
 
 val spec :
@@ -34,9 +37,17 @@ val spec :
   ?seed:int ->
   ?behaviors:(Task.id * Behavior.fn) list ->
   ?tune:(Planner.config -> Planner.config) ->
+  ?obs:Btr_obs.Obs.t ->
   unit ->
   spec
 (** Defaults: no faults, horizon = 100 periods, seed 1. *)
+
+val avionics_demo : ?seed:int -> ?obs:Btr_obs.Obs.t -> unit -> spec
+(** The stack's demo deployment: avionics workload, 6-node clique
+    (10 Mbps, 50µs links), f = 1, R = 200ms, one node corrupting its
+    outputs at t = 250ms, horizon 1s. Exercises detection, evidence
+    flooding and a mode switch, so a trace of it contains events from
+    every subsystem. *)
 
 val plan : spec -> (Planner.t, Planner.error) result
 (** Just the offline phase. *)

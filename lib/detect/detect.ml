@@ -1,5 +1,6 @@
 open Btr_util
 module Evidence = Btr_evidence.Evidence
+module Obs = Btr_obs.Obs
 
 let path_statement_admissible (s : Evidence.statement) =
   match s.accused with
@@ -14,16 +15,23 @@ module Watchdog = struct
     node : int;
     margin : Time.t;
     strikes : int;
+    obs : Obs.t;
+    late_count : Obs.Counter.t;
+    missing_count : Obs.Counter.t;
     table : (int * int, expectation) Hashtbl.t;
     misses : (int, int) Hashtbl.t;  (* per from_node missing count *)
   }
 
-  let create ~node ~margin ?(strikes = 1) () =
+  let create ~node ~margin ?(strikes = 1) ?(obs = Obs.null) () =
     if strikes < 1 then invalid_arg "Watchdog.create: strikes < 1";
+    let reg = Obs.registry obs in
     {
       node;
       margin;
       strikes;
+      obs;
+      late_count = Obs.Registry.counter reg Obs.Detect "watchdog-late";
+      missing_count = Obs.Registry.counter reg Obs.Detect "watchdog-missing";
       table = Hashtbl.create 64;
       misses = Hashtbl.create 16;
     }
@@ -38,8 +46,14 @@ module Watchdog = struct
     | Some e ->
       e.met <- true;
       let limit = Time.add e.deadline t.margin in
-      if Time.compare at limit > 0 then
-        Some { flow; period; from_node = e.from_node; lateness = Time.sub at limit }
+      if Time.compare at limit > 0 then begin
+        let lateness = Time.sub at limit in
+        Obs.Counter.incr t.late_count;
+        if Obs.enabled t.obs then
+          Obs.emit t.obs ~at ~node:t.node Obs.Detect
+            (Obs.Watchdog_late { flow; period; from_node = e.from_node; lateness });
+        Some { flow; period; from_node = e.from_node; lateness }
+      end
       else None
 
   let overdue t ~now =
@@ -56,7 +70,14 @@ module Watchdog = struct
         e.met <- true;
         let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.misses e.from_node) in
         Hashtbl.replace t.misses e.from_node n;
-        if n >= t.strikes then Some (flow, period, e.from_node) else None)
+        if n >= t.strikes then begin
+          Obs.Counter.incr t.missing_count;
+          if Obs.enabled t.obs then
+            Obs.emit t.obs ~at:now ~node:t.node Obs.Detect
+              (Obs.Watchdog_missing { flow; period; from_node = e.from_node });
+          Some (flow, period, e.from_node)
+        end
+        else None)
       (List.sort compare !due)
 
   let pending t =

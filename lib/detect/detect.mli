@@ -37,13 +37,16 @@ module Watchdog : sig
 
   type late = { flow : int; period : int; from_node : int; lateness : Time.t }
 
-  val create : node:int -> margin:Time.t -> ?strikes:int -> unit -> t
+  val create :
+    node:int -> margin:Time.t -> ?strikes:int -> ?obs:Btr_obs.Obs.t -> unit -> t
   (** [margin] is slack added to scheduled arrival times before
       declaring anything; it absorbs queueing jitter. [strikes]
       (default 1) is how many missing messages a path must accumulate
       before it is reported: 1 matches the paper's FEC assumption
       ("losses are rare enough to be ignored"); higher values trade
-      detection latency for robustness to residual link loss. *)
+      detection latency for robustness to residual link loss. [obs]
+      (default null) receives [Watchdog_late]/[Watchdog_missing] events
+      and the [detect.watchdog-*] counters. *)
 
   val expect :
     t -> flow:int -> period:int -> from_node:int -> deadline:Time.t -> unit

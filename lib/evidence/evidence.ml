@@ -1,5 +1,6 @@
 open Btr_util
 module Auth = Btr_crypto.Auth
+module Obs = Btr_obs.Obs
 
 type fault_class =
   | Wrong_value
@@ -21,6 +22,10 @@ type accused = Node of int | Path of int * int
 
 let path a b = if a <= b then Path (a, b) else Path (b, a)
 
+let accused_name = function
+  | Node n -> Printf.sprintf "node:%d" n
+  | Path (a, b) -> Printf.sprintf "path:%d-%d" a b
+
 type statement = {
   accused : accused;
   fault_class : fault_class;
@@ -31,12 +36,7 @@ type statement = {
 }
 
 let encode s =
-  let accused =
-    match s.accused with
-    | Node n -> Printf.sprintf "node:%d" n
-    | Path (a, b) -> Printf.sprintf "path:%d-%d" a b
-  in
-  Printf.sprintf "%s|%s|det:%d|p:%d|t:%d|%s" accused
+  Printf.sprintf "%s|%s|det:%d|p:%d|t:%d|%s" (accused_name s.accused)
     (Format.asprintf "%a" pp_fault_class s.fault_class)
     s.detector s.period s.detected_at s.detail
 
@@ -65,17 +65,31 @@ let pp ppf r =
 module Distributor = struct
   type verdict = Fresh | Duplicate | Invalid
 
+  let verdict_name = function
+    | Fresh -> "fresh"
+    | Duplicate -> "duplicate"
+    | Invalid -> "invalid"
+
   type t = {
     node : int;
+    obs : Obs.t;
+    fresh_count : Obs.Counter.t;
+    dedup_count : Obs.Counter.t;
+    invalid_count : Obs.Counter.t;
     seen_keys : (string, unit) Hashtbl.t;
     mutable rev_seen : record list;
     sent : (string * int, unit) Hashtbl.t;
     invalid_by : (int, int) Hashtbl.t;
   }
 
-  let create ~node =
+  let create ~node ?(obs = Obs.null) () =
+    let reg = Obs.registry obs in
     {
       node;
+      obs;
+      fresh_count = Obs.Registry.counter reg Obs.Evidence "records-admitted";
+      dedup_count = Obs.Registry.counter reg Obs.Evidence "dedup-hits";
+      invalid_count = Obs.Registry.counter reg Obs.Evidence "validation-failures";
       seen_keys = Hashtbl.create 32;
       rev_seen = [];
       sent = Hashtbl.create 64;
@@ -84,22 +98,40 @@ module Distributor = struct
 
   let node t = t.node
 
-  let admit t auth r =
-    if not (validate auth r) then begin
-      let signer = r.statement.detector in
-      let prev = Option.value ~default:0 (Hashtbl.find_opt t.invalid_by signer) in
-      Hashtbl.replace t.invalid_by signer (prev + 1);
-      Invalid
-    end
-    else begin
-      let k = dedup_key r in
-      if Hashtbl.mem t.seen_keys k then Duplicate
-      else begin
-        Hashtbl.replace t.seen_keys k ();
-        t.rev_seen <- r :: t.rev_seen;
-        Fresh
+  let admit ?now t auth r =
+    let verdict =
+      if not (validate auth r) then begin
+        let signer = r.statement.detector in
+        let prev = Option.value ~default:0 (Hashtbl.find_opt t.invalid_by signer) in
+        Hashtbl.replace t.invalid_by signer (prev + 1);
+        Obs.Counter.incr t.invalid_count;
+        Invalid
       end
-    end
+      else begin
+        let k = dedup_key r in
+        if Hashtbl.mem t.seen_keys k then begin
+          Obs.Counter.incr t.dedup_count;
+          Duplicate
+        end
+        else begin
+          Hashtbl.replace t.seen_keys k ();
+          t.rev_seen <- r :: t.rev_seen;
+          Obs.Counter.incr t.fresh_count;
+          Fresh
+        end
+      end
+    in
+    (match now with
+    | Some at when Obs.enabled t.obs ->
+      Obs.emit t.obs ~at ~node:t.node Obs.Evidence
+        (Obs.Evidence_admitted
+           {
+             verdict = verdict_name verdict;
+             detector = r.statement.detector;
+             accused = accused_name r.statement.accused;
+           })
+    | _ -> ());
+    verdict
 
   let already_sent t r ~dst =
     let k = (dedup_key r, dst) in

@@ -32,6 +32,9 @@ type accused =
 
 val path : int -> int -> accused
 
+val accused_name : accused -> string
+(** ["node:3"] / ["path:1-4"]; used in telemetry and {!encode}. *)
+
 type statement = {
   accused : accused;
   fault_class : fault_class;
@@ -68,10 +71,19 @@ module Distributor : sig
     | Duplicate
     | Invalid  (** failed validation: drop, count against the signer *)
 
-  val create : node:int -> t
+  val verdict_name : verdict -> string
+
+  val create : node:int -> ?obs:Btr_obs.Obs.t -> unit -> t
+  (** [obs] (default null) receives an [Evidence_admitted] event per
+      {!admit} called with [~now], and the [evidence.records-admitted],
+      [evidence.dedup-hits] and [evidence.validation-failures]
+      counters. *)
+
   val node : t -> int
 
-  val admit : t -> Auth.t -> record -> verdict
+  val admit : ?now:Time.t -> t -> Auth.t -> record -> verdict
+  (** [now] timestamps the telemetry event; admission logic does not
+      depend on it. *)
 
   val already_sent : t -> record -> dst:int -> bool
   (** Whether this node already forwarded the record to [dst]; marks it

@@ -1,12 +1,12 @@
 open Btr_util
 module Engine = Btr_sim.Engine
+module Obs = Btr_obs.Obs
 
 type node_id = Topology.node_id
 type cls = Data | Control
 
-let pp_cls ppf = function
-  | Data -> Format.pp_print_string ppf "data"
-  | Control -> Format.pp_print_string ppf "control"
+let cls_name = function Data -> "data" | Control -> "control"
+let pp_cls ppf c = Format.pp_print_string ppf (cls_name c)
 
 type shares = { data_frac : float; control_frac : float }
 
@@ -27,6 +27,7 @@ type 'a recv = {
 
 type 'a t = {
   eng : Engine.t;
+  obs : Obs.t;
   topo : Topology.t;
   shares : shares;
   residual_loss : float;
@@ -37,11 +38,13 @@ type 'a t = {
   relay_delay : (node_id, Time.t) Hashtbl.t;
   mutable route_avoid : node_id list;
   loss_rng : Rng.t;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable lost : int;
-  mutable relay_dropped : int;
-  mutable bytes : int;
+  (* Registry counters: always on, one field write per bump. *)
+  sent : Obs.Counter.t;
+  delivered : Obs.Counter.t;
+  lost : Obs.Counter.t;
+  relay_dropped : Obs.Counter.t;
+  data_bytes : Obs.Counter.t;
+  control_bytes : Obs.Counter.t;
   by_sender : (node_id * cls, int) Hashtbl.t;
   data_lat : Stats.Acc.t;
   control_lat : Stats.Acc.t;
@@ -67,8 +70,11 @@ let create eng topo ?shares ?(residual_loss = 0.0) () =
           (Printf.sprintf "Net.create: link %d reservations exceed capacity"
              l.link_id))
     (Topology.links topo);
+  let obs = Engine.obs eng in
+  let reg = Obs.registry obs in
   {
     eng;
+    obs;
     topo;
     shares;
     residual_loss;
@@ -78,11 +84,12 @@ let create eng topo ?shares ?(residual_loss = 0.0) () =
     relay_delay = Hashtbl.create 8;
     route_avoid = [];
     loss_rng = Rng.split (Engine.rng eng);
-    sent = 0;
-    delivered = 0;
-    lost = 0;
-    relay_dropped = 0;
-    bytes = 0;
+    sent = Obs.Registry.counter reg Obs.Net "msgs-sent";
+    delivered = Obs.Registry.counter reg Obs.Net "msgs-delivered";
+    lost = Obs.Registry.counter reg Obs.Net "msgs-lost";
+    relay_dropped = Obs.Registry.counter reg Obs.Net "relay-dropped";
+    data_bytes = Obs.Registry.counter reg Obs.Net "bytes.data";
+    control_bytes = Obs.Registry.counter reg Obs.Net "bytes.control";
     by_sender = Hashtbl.create 16;
     data_lat = Stats.Acc.create ();
     control_lat = Stats.Acc.create ();
@@ -102,7 +109,9 @@ let serialize_time ~size ~rate =
   Stdlib.max 1 (size * 1_000_000 / rate)
 
 let charge_bytes t sender cls size =
-  t.bytes <- t.bytes + size;
+  Obs.Counter.add
+    (match cls with Data -> t.data_bytes | Control -> t.control_bytes)
+    size;
   let key = (sender, cls) in
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.by_sender key) in
   Hashtbl.replace t.by_sender key (prev + size)
@@ -127,11 +136,22 @@ let hop t ~sender ~(link : Topology.link) ~cls ~size k =
   ignore (Engine.schedule t.eng ~at:arrival (fun _ -> k arrival))
 
 let deliver t msg =
-  t.delivered <- t.delivered + 1;
+  Obs.Counter.incr t.delivered;
   let lat = Time.to_sec_f (Time.sub msg.delivered_at msg.sent_at) in
   (match msg.cls with
   | Data -> Stats.Acc.add t.data_lat lat
   | Control -> Stats.Acc.add t.control_lat lat);
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~at:msg.delivered_at ~node:msg.dst Obs.Net
+      (Obs.Msg_delivered
+         {
+           src = msg.src;
+           dst = msg.dst;
+           cls = cls_name msg.cls;
+           bytes = msg.size_bytes;
+           latency = Time.sub msg.delivered_at msg.sent_at;
+           hops = msg.hops;
+         });
   match Hashtbl.find_opt t.handlers msg.dst with
   | Some f -> f msg
   | None -> ()
@@ -148,8 +168,11 @@ let send t ~src ~dst ~cls ~size_bytes payload =
   match route t ~src ~dst with
   | None -> false
   | Some path ->
-    t.sent <- t.sent + 1;
+    Obs.Counter.incr t.sent;
     let sent_at = Engine.now t.eng in
+    if Obs.enabled t.obs then
+      Obs.emit t.obs ~at:sent_at ~node:src Obs.Net
+        (Obs.Msg_sent { src; dst; cls = cls_name cls; bytes = size_bytes });
     let rec traverse here remaining hops =
       match remaining with
       | [] ->
@@ -163,7 +186,12 @@ let send t ~src ~dst ~cls ~size_bytes payload =
         let nxt = Topology.next_hop_node t.topo ~here ~link ~dst in
         hop t ~sender:here ~link ~cls ~size:size_bytes (fun _arrival ->
             if t.residual_loss > 0.0 && Rng.float t.loss_rng 1.0 < t.residual_loss
-            then t.lost <- t.lost + 1
+            then begin
+              Obs.Counter.incr t.lost;
+              if Obs.enabled t.obs then
+                Obs.emit t.obs ~at:(Engine.now t.eng) ~node:nxt Obs.Net
+                  (Obs.Msg_lost { src; dst; cls = cls_name cls })
+            end
             else if nxt = dst && rest = [] then
               deliver t
                 {
@@ -176,8 +204,12 @@ let send t ~src ~dst ~cls ~size_bytes payload =
                   delivered_at = Engine.now t.eng;
                   hops = hops + 1;
                 }
-            else if not (relay_allows t nxt ~src ~dst ~cls) then
-              t.relay_dropped <- t.relay_dropped + 1
+            else if not (relay_allows t nxt ~src ~dst ~cls) then begin
+              Obs.Counter.incr t.relay_dropped;
+              if Obs.enabled t.obs then
+                Obs.emit t.obs ~at:(Engine.now t.eng) ~node:nxt Obs.Net
+                  (Obs.Relay_dropped { relay = nxt; src; dst; cls = cls_name cls })
+            end
             else begin
               let extra = relay_extra_delay t nxt in
               if Time.equal extra Time.zero then traverse nxt rest (hops + 1)
@@ -258,17 +290,21 @@ type stats = {
   messages_lost : int;
   messages_dropped_by_relay : int;
   bytes_sent : int;
+  data_bytes_sent : int;
+  control_bytes_sent : int;
   data_latencies : float list;
   control_latencies : float list;
 }
 
 let stats t =
   {
-    messages_sent = t.sent;
-    messages_delivered = t.delivered;
-    messages_lost = t.lost;
-    messages_dropped_by_relay = t.relay_dropped;
-    bytes_sent = t.bytes;
+    messages_sent = Obs.Counter.value t.sent;
+    messages_delivered = Obs.Counter.value t.delivered;
+    messages_lost = Obs.Counter.value t.lost;
+    messages_dropped_by_relay = Obs.Counter.value t.relay_dropped;
+    bytes_sent = Obs.Counter.value t.data_bytes + Obs.Counter.value t.control_bytes;
+    data_bytes_sent = Obs.Counter.value t.data_bytes;
+    control_bytes_sent = Obs.Counter.value t.control_bytes;
     data_latencies = Stats.Acc.values t.data_lat;
     control_latencies = Stats.Acc.values t.control_lat;
   }

@@ -26,6 +26,9 @@ type node_id = Topology.node_id
 
 type cls = Data | Control
 
+val cls_name : cls -> string
+(** ["data"] / ["control"]; used in telemetry events. *)
+
 val pp_cls : Format.formatter -> cls -> unit
 
 type shares = { data_frac : float; control_frac : float }
@@ -114,7 +117,9 @@ type stats = {
   messages_delivered : int;
   messages_lost : int;
   messages_dropped_by_relay : int;
-  bytes_sent : int;
+  bytes_sent : int;  (** data + control *)
+  data_bytes_sent : int;
+  control_bytes_sent : int;
   data_latencies : float list;  (** seconds, delivered [Data] messages *)
   control_latencies : float list;  (** seconds, delivered [Control] *)
 }

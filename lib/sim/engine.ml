@@ -1,4 +1,5 @@
 open Btr_util
+module Obs = Btr_obs.Obs
 
 type event = { at : Time.t; seq : int; fire : unit -> unit; cancelled : bool ref }
 
@@ -15,28 +16,28 @@ type t = {
   mutable next_seq : int;
   mutable processed : int;
   rng : Rng.t;
-  mutable tracing : bool;
-  mutable rev_traces : (Time.t * string * string) list;
+  obs : Obs.t;
 }
 
 type handle = bool ref
 
-let create ?(seed = 1) () =
+let create ?(seed = 1) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     clock = Time.zero;
     queue = Eq.empty;
     next_seq = 0;
     processed = 0;
     rng = Rng.create seed;
-    tracing = false;
-    rev_traces = [];
+    obs;
   }
 
 let now t = t.clock
 let rng t = t.rng
+let obs t = t.obs
 
-let push t ~at fire =
-  let cancelled = ref false in
+let push t ~at ?cancelled fire =
+  let cancelled = match cancelled with Some c -> c | None -> ref false in
   t.queue <- Eq.insert { at; seq = t.next_seq; fire; cancelled } t.queue;
   t.next_seq <- t.next_seq + 1;
   cancelled
@@ -57,18 +58,15 @@ let every t ~period ?start f =
   let start =
     match start with Some s -> s | None -> Time.add t.clock period
   in
+  (* Every armed firing shares the one [stopped] ref as its per-event
+     cancel flag, so cancelling the handle also voids the firing already
+     sitting in the queue instead of leaving it live until its time. *)
   let stopped = ref false in
   let rec arm at =
-    let h =
-      push t ~at (fun () ->
-          if not !stopped then begin
-            f t;
-            arm (Time.add at period)
-          end)
-    in
-    (* Individual firings share the outer [stopped] flag; the per-event
-       cancel flag is unused for periodic events. *)
-    ignore h
+    ignore
+      (push t ~at ~cancelled:stopped (fun () ->
+           f t;
+           arm (Time.add at period)))
   in
   arm start;
   stopped
@@ -88,6 +86,8 @@ let step t =
     true
 
 let run ?(until = Time.infinity) t =
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~at:t.clock Obs.Sim (Obs.Run_started { until });
   let rec loop () =
     match Eq.find_min t.queue with
     | None -> ()
@@ -95,13 +95,12 @@ let run ?(until = Time.infinity) t =
       if Time.compare ev.at until > 0 then ()
       else if step t then loop ()
   in
-  loop ()
+  loop ();
+  if Obs.enabled t.obs then
+    Obs.emit t.obs ~at:t.clock Obs.Sim
+      (Obs.Run_finished { events = t.processed })
 
 let events_processed t = t.processed
-let pending t = Eq.size t.queue
 
-let trace t subsystem msg =
-  if t.tracing then t.rev_traces <- (t.clock, subsystem, msg) :: t.rev_traces
-
-let set_tracing t b = t.tracing <- b
-let traces t = List.rev t.rev_traces
+let pending t =
+  Eq.fold (fun acc ev -> if !(ev.cancelled) then acc else acc + 1) 0 t.queue

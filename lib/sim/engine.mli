@@ -4,20 +4,32 @@
     plants, fault injection and the BTR runtime all execute as events on
     one engine. Execution order is total and reproducible: events fire
     in (time, insertion sequence) order, and all randomness flows from
-    the engine's seeded {!Btr_util.Rng.t}. *)
+    the engine's seeded {!Btr_util.Rng.t}.
+
+    Telemetry flows through the engine's {!Btr_obs.Obs.t} context:
+    every layer holding the engine reaches the event sinks and the
+    metric registry via {!obs}, so one context covers the whole
+    deployment. The default context has a null sink — counters work,
+    events cost one branch. *)
 
 open Btr_util
+module Obs = Btr_obs.Obs
 
 type t
 
 type handle
 (** A scheduled event that can be cancelled before it fires. *)
 
-val create : ?seed:int -> unit -> t
-(** [create ~seed ()] makes an engine at time 0. Default seed is 1. *)
+val create : ?seed:int -> ?obs:Obs.t -> unit -> t
+(** [create ~seed ()] makes an engine at time 0. Default seed is 1;
+    default [obs] is a fresh null-sink context ({!Obs.create}). *)
 
 val now : t -> Time.t
 val rng : t -> Rng.t
+
+val obs : t -> Obs.t
+(** The engine's observability context (shared by all layers built on
+    this engine). *)
 
 val schedule : t -> at:Time.t -> (t -> unit) -> handle
 (** [schedule t ~at f] runs [f t] when simulated time reaches [at].
@@ -29,7 +41,9 @@ val schedule_in : t -> delay:Time.t -> (t -> unit) -> handle
 
 val every : t -> period:Time.t -> ?start:Time.t -> (t -> unit) -> handle
 (** Periodic event, first firing at [start] (default: next period
-    boundary from now). Cancelling the handle stops future firings. *)
+    boundary from now). Cancelling the handle stops future firings and
+    also voids the already-queued next firing ({!pending} reflects it
+    immediately). *)
 
 val cancel : handle -> unit
 (** Idempotent; a cancelled event is skipped when its time comes. *)
@@ -39,16 +53,10 @@ val step : t -> bool
 
 val run : ?until:Time.t -> t -> unit
 (** Processes events until the queue drains or simulated time would
-    exceed [until]. Events at exactly [until] still fire. *)
+    exceed [until]. Events at exactly [until] still fire. Emits
+    [Run_started]/[Run_finished] events when tracing is enabled. *)
 
 val events_processed : t -> int
+
 val pending : t -> int
-
-val trace : t -> string -> string -> unit
-(** [trace t subsystem msg] appends to the trace log (cheap no-op unless
-    tracing was enabled). *)
-
-val set_tracing : t -> bool -> unit
-
-val traces : t -> (Time.t * string * string) list
-(** Collected trace records, oldest first. *)
+(** Queued events that are still live (cancelled ones excluded). O(n). *)

@@ -36,6 +36,10 @@ module Make (Elt : ORDERED) = struct
     | Empty -> 0
     | Node (_, hs) -> 1 + List.fold_left (fun acc h -> acc + size h) 0 hs
 
+  let rec fold f acc = function
+    | Empty -> acc
+    | Node (x, hs) -> List.fold_left (fold f) (f acc x) hs
+
   let to_sorted_list h =
     let rec drain acc h =
       match delete_min h with

@@ -27,6 +27,9 @@ module Make (Elt : ORDERED) : sig
   val size : t -> int
   (** O(n); intended for tests and assertions. *)
 
+  val fold : ('acc -> Elt.t -> 'acc) -> 'acc -> t -> 'acc
+  (** O(n) fold in unspecified (heap) order. *)
+
   val to_sorted_list : t -> Elt.t list
   (** Drains the heap in ascending order. O(n log n). *)
 

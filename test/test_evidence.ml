@@ -72,7 +72,7 @@ let test_encode_injective () =
 
 let test_distributor_fresh_then_duplicate () =
   let auth, k0, _ = setup () in
-  let d = Evidence.Distributor.create ~node:1 in
+  let d = Evidence.Distributor.create ~node:1 () in
   let r = Evidence.sign auth k0 (stmt ()) in
   check_bool "fresh" true (Evidence.Distributor.admit d auth r = Evidence.Distributor.Fresh);
   check_bool "duplicate" true
@@ -81,7 +81,7 @@ let test_distributor_fresh_then_duplicate () =
 
 let test_distributor_invalid_counted () =
   let auth, _, _ = setup () in
-  let d = Evidence.Distributor.create ~node:1 in
+  let d = Evidence.Distributor.create ~node:1 () in
   let bogus = { Evidence.statement = stmt ~detector:0 (); tag = Auth.forge_tag () } in
   check_bool "invalid" true
     (Evidence.Distributor.admit d auth bogus = Evidence.Distributor.Invalid);
@@ -91,7 +91,7 @@ let test_distributor_invalid_counted () =
 
 let test_already_sent () =
   let auth, k0, _ = setup () in
-  let d = Evidence.Distributor.create ~node:0 in
+  let d = Evidence.Distributor.create ~node:0 () in
   let r = Evidence.sign auth k0 (stmt ()) in
   check_bool "first send allowed" false (Evidence.Distributor.already_sent d r ~dst:2);
   check_bool "second send suppressed" true (Evidence.Distributor.already_sent d r ~dst:2);

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "btr"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("sim", Test_sim.suite);
       ("crypto", Test_crypto.suite);
       ("net", Test_net.suite);

@@ -108,18 +108,38 @@ let test_determinism () =
   in
   check_bool "same seed, same execution" true (run_once () = run_once ())
 
-let test_tracing () =
+let test_obs_run_events () =
+  let obs = Btr_obs.Obs.with_memory () in
+  let e = Engine.create ~obs () in
+  ignore (Engine.schedule e ~at:(Time.ms 1) (fun _ -> ()));
+  Engine.run ~until:(Time.ms 2) e;
+  match Btr_obs.Obs.events obs with
+  | [ started; finished ] ->
+    check_bool "run started first"
+      (started.Btr_obs.Obs.payload = Btr_obs.Obs.Run_started { until = Time.ms 2 })
+      true;
+    check_bool "run finished with event count"
+      (finished.Btr_obs.Obs.payload = Btr_obs.Obs.Run_finished { events = 1 })
+      true
+  | l -> Alcotest.failf "expected two events, got %d" (List.length l)
+
+let test_obs_default_disabled () =
   let e = Engine.create () in
-  Engine.trace e "x" "dropped";
-  Engine.set_tracing e true;
-  ignore (Engine.schedule e ~at:(Time.ms 1) (fun e -> Engine.trace e "net" "hello"));
+  check_bool "default context records nothing" false
+    (Btr_obs.Obs.enabled (Engine.obs e));
+  ignore (Engine.schedule e ~at:(Time.ms 1) (fun _ -> ()));
   Engine.run e;
-  match Engine.traces e with
-  | [ (t, sub, msg) ] ->
-    check_int "trace time" (Time.ms 1) t;
-    Alcotest.(check string) "subsystem" "net" sub;
-    Alcotest.(check string) "message" "hello" msg
-  | l -> Alcotest.failf "expected one trace, got %d" (List.length l)
+  check_int "no events retained" 0
+    (List.length (Btr_obs.Obs.events (Engine.obs e)))
+
+(* The leak the `every` rewrite fixed: cancelling a periodic handle must
+   also drop the already-armed next firing from the queue. *)
+let test_periodic_cancel_drops_pending () =
+  let e = Engine.create () in
+  let h = Engine.every e ~period:(Time.ms 10) (fun _ -> ()) in
+  ignore (Engine.schedule e ~at:(Time.ms 15) (fun _ -> Engine.cancel h));
+  Engine.run ~until:(Time.ms 15) e;
+  check_int "armed firing no longer pending" 0 (Engine.pending e)
 
 let prop_events_fire_in_order =
   QCheck.Test.make ~name:"random events always fire in nondecreasing time order"
@@ -149,6 +169,8 @@ let suite =
     ("periodic with explicit start", `Quick, test_periodic_start);
     ("events can schedule events", `Quick, test_nested_scheduling);
     ("execution is deterministic per seed", `Quick, test_determinism);
-    ("tracing toggles and records", `Quick, test_tracing);
+    ("obs records run start/finish", `Quick, test_obs_run_events);
+    ("obs disabled by default", `Quick, test_obs_default_disabled);
+    ("periodic cancel drops armed firing", `Quick, test_periodic_cancel_drops_pending);
     QCheck_alcotest.to_alcotest prop_events_fire_in_order;
   ]

@@ -106,6 +106,38 @@ let prop_pheap_sorts =
     QCheck.(list int)
     (fun xs -> Ih.to_sorted_list (Ih.of_list xs) = List.sort Int.compare xs)
 
+let test_pheap_fold () =
+  let h = Ih.of_list [ 4; 2; 7 ] in
+  check_int "fold sums every element" 13 (Ih.fold ( + ) 0 h);
+  check_int "fold on empty" 0 (Ih.fold ( + ) 0 Ih.empty)
+
+(* Random interleaving of inserts and delete-mins against a sorted-list
+   model: catches heap-shape bugs plain drain-after-build misses. *)
+let prop_pheap_interleaved =
+  QCheck.Test.make
+    ~name:"pheap interleaved insert/delete-min matches a sorted-list model"
+    ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let ok = ref true in
+      let heap = ref Ih.empty and model = ref [] in
+      List.iter
+        (fun (is_delete, x) ->
+          if is_delete then
+            match Ih.delete_min !heap, !model with
+            | None, [] -> ()
+            | Some (m, h), y :: rest ->
+              if m <> y then ok := false;
+              heap := h;
+              model := rest
+            | Some _, [] | None, _ :: _ -> ok := false
+          else begin
+            heap := Ih.insert x !heap;
+            model := List.sort Int.compare (x :: !model)
+          end)
+        ops;
+      !ok && Ih.to_sorted_list !heap = !model)
+
 let prop_pheap_merge_is_union =
   QCheck.Test.make ~name:"pheap merge drains the multiset union" ~count:200
     QCheck.(pair (list small_int) (list small_int))
@@ -179,12 +211,14 @@ let suite =
     ("pheap empty", `Quick, test_pheap_empty);
     ("pheap merge", `Quick, test_pheap_merge);
     ("pheap persistent", `Quick, test_pheap_persistent);
+    ("pheap fold", `Quick, test_pheap_fold);
     ("stats summary", `Quick, test_stats_summary);
     ("stats percentile", `Quick, test_stats_percentile);
     ("stats histogram", `Quick, test_stats_histogram);
     ("stats acc", `Quick, test_stats_acc);
     ("table render", `Quick, test_table_render);
     QCheck_alcotest.to_alcotest prop_pheap_sorts;
+    QCheck_alcotest.to_alcotest prop_pheap_interleaved;
     QCheck_alcotest.to_alcotest prop_pheap_merge_is_union;
     QCheck_alcotest.to_alcotest prop_percentile_within_range;
   ]

@@ -81,7 +81,7 @@ let run () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
-    Hashtbl.fold
+    Btr_util.Table.sorted_fold ~cmp:String.compare
       (fun name o acc ->
         match Analyze.OLS.estimates o with
         | Some (est :: _) -> (name, est) :: acc
@@ -90,4 +90,4 @@ let run () =
   in
   List.iter
     (fun (name, est) -> Printf.printf "  %-50s %14.1f ns/run\n" name est)
-    (List.sort compare rows)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

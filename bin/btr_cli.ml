@@ -1,9 +1,10 @@
 (* btr — command-line front end for the BTR library.
 
    Examples:
-     btr plan --workload avionics --nodes 6 -f 1 -r 200
-     btr run  --workload scada --nodes 5 -f 1 -r 300 \
-              --fault corrupt:3:250 --horizon 2000
+     btr plan  --workload avionics --nodes 6 -f 1 -r 200
+     btr check --workload avionics --nodes 6 -f 1 -r 200 --json
+     btr run   --workload scada --nodes 5 -f 1 -r 300 \
+               --fault corrupt:3:250 --horizon 2000
      btr workloads *)
 
 open Btr_util
@@ -13,6 +14,7 @@ module Graph = Btr_workload.Graph
 module Generators = Btr_workload.Generators
 module Topology = Btr_net.Topology
 module Planner = Btr_planner.Planner
+module Check = Btr_check.Check
 module Fault = Btr_fault.Fault
 
 let workload_of_name name ~nodes ~seed =
@@ -211,6 +213,45 @@ let run_cmd =
       const run $ workload_arg $ topology_arg $ nodes_arg $ f_arg $ r_arg
       $ seed_arg $ faults $ horizon $ trace_arg $ metrics_arg)
 
+let check_cmd =
+  let doc =
+    "Statically verify a strategy's recovery obligations (Definition 3.1)."
+  in
+  let run workload topology nodes f r seed json list_codes trace metrics =
+    if list_codes then begin
+      List.iter
+        (fun c ->
+          Printf.printf "%s %-7s %s\n" (Check.code_id c)
+            (Check.severity_name (Check.severity_of c))
+            (Check.describe c))
+        Check.all_codes;
+      0
+    end
+    else
+      match build_strategy workload topology nodes f r seed with
+      | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+      | Ok (_, _, s) ->
+        with_obs ~trace ~metrics (fun obs ->
+            let report = Check.verify ?obs s in
+            if json then print_endline (Check.report_to_json report)
+            else Format.printf "%a@." Check.pp_report report;
+            if Check.passed report then 0 else 1)
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let list_codes =
+    Arg.(
+      value & flag
+      & info [ "codes" ] ~doc:"List every diagnostic code and exit.")
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ workload_arg $ topology_arg $ nodes_arg $ f_arg $ r_arg
+      $ seed_arg $ json $ list_codes $ trace_arg $ metrics_arg)
+
 let workloads_cmd =
   let doc = "List built-in workloads and show their structure." in
   let run nodes seed =
@@ -242,5 +283,9 @@ let demo_term =
 let () =
   let doc = "bounded-time recovery for cyber-physical systems" in
   let info = Cmd.info "btr" ~version:"1.0.0" ~doc in
+  (* term_err = 2: unknown subcommands or flags exit 2 (usage error),
+     so scripts can tell misuse from a failed check/run (1). *)
   exit
-    (Cmd.eval' (Cmd.group ~default:demo_term info [ plan_cmd; run_cmd; workloads_cmd ]))
+    (Cmd.eval' ~term_err:2
+       (Cmd.group ~default:demo_term info
+          [ plan_cmd; check_cmd; run_cmd; workloads_cmd ]))

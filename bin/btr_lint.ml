@@ -1,0 +1,73 @@
+(* Determinism linter driver: walks the given roots (default: the
+   repository's source directories) for .ml files, lints each with
+   Btr_lint_core.Lint, prints compiler-style findings and exits 1 when
+   any are found — CI's blocking lint job runs exactly this. *)
+
+module Lint = Btr_lint_core.Lint
+
+let usage () =
+  prerr_endline "usage: btr_lint [PATH...]";
+  prerr_endline "  Lints .ml files under each PATH (default: bench bin lib test).";
+  prerr_endline "  Rules:";
+  List.iter
+    (fun r ->
+      Printf.eprintf "    %s %-14s %s\n" (Lint.rule_id r) (Lint.rule_name r)
+        (Lint.describe r))
+    Lint.all_rules;
+  prerr_endline
+    "  Suppress with a comment: (* btr-lint: allow <rule-name> *) on the";
+  prerr_endline "  same line or the line above."
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry > 0 && (entry.[0] = '_' || entry.[0] = '.') then
+          acc
+        else walk (Filename.concat path entry) acc)
+      acc entries
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-help" args then begin
+    usage ();
+    exit 0
+  end;
+  (match List.find_opt (fun a -> String.length a > 0 && a.[0] = '-') args with
+  | Some flag ->
+    Printf.eprintf "btr_lint: unknown option %s\n" flag;
+    usage ();
+    exit 2
+  | None -> ());
+  let roots = if args = [] then [ "bench"; "bin"; "lib"; "test" ] else args in
+  (match List.find_opt (fun r -> not (Sys.file_exists r)) roots with
+  | Some missing ->
+    Printf.eprintf "btr_lint: no such file or directory: %s\n" missing;
+    exit 2
+  | None -> ());
+  let files = List.sort String.compare (List.concat_map (fun r -> walk r []) roots) in
+  let failed = ref false in
+  let n_findings = ref 0 in
+  List.iter
+    (fun file ->
+      match Lint.lint_file file with
+      | Error msg ->
+        failed := true;
+        Printf.eprintf "btr_lint: %s\n" msg
+      | Ok findings ->
+        List.iter
+          (fun f ->
+            incr n_findings;
+            Format.printf "%a@." Lint.pp_finding f)
+          findings)
+    files;
+  if !n_findings > 0 || !failed then begin
+    Printf.printf "btr_lint: %d finding(s) in %d file(s)\n" !n_findings
+      (List.length files);
+    exit 1
+  end
+  else Printf.printf "btr_lint: %d file(s) clean\n" (List.length files)

@@ -367,8 +367,10 @@ let audit t =
   match t.style with
   | Selfstab { expose_prob; _ } ->
     let rng = Engine.rng t.eng in
+    (* Sorted traversal: each candidate consumes an RNG draw, so the
+       visit order is part of the deterministic-replay contract. *)
     let newly =
-      Hashtbl.fold
+      Table.sorted_fold ~cmp:Int.compare
         (fun node _ acc ->
           if (not (List.mem node t.exposed)) && Rng.float rng 1.0 < expose_prob
           then node :: acc

@@ -1,0 +1,695 @@
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Topology = Btr_net.Topology
+module Net = Btr_net.Net
+module Schedule = Btr_sched.Schedule
+module Analysis = Btr_sched.Analysis
+module Augment = Btr_planner.Augment
+module Planner = Btr_planner.Planner
+module Obs = Btr_obs.Obs
+
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+type code =
+  | Link_oversubscribed
+  | Data_reserve_exceeded
+  | Control_reserve_tight
+  | Node_overutilized
+  | Response_time_divergent
+  | Schedule_invalid
+  | Mode_missing
+  | Transition_missing
+  | Recovery_bound_exceeded
+  | Recovery_bound_understated
+  | Transition_target_unknown
+  | Orphan_mode
+  | Evidence_unroutable
+  | Evidence_budget_dominant
+
+let all_codes =
+  [
+    Link_oversubscribed;
+    Data_reserve_exceeded;
+    Control_reserve_tight;
+    Node_overutilized;
+    Response_time_divergent;
+    Schedule_invalid;
+    Mode_missing;
+    Transition_missing;
+    Recovery_bound_exceeded;
+    Recovery_bound_understated;
+    Transition_target_unknown;
+    Orphan_mode;
+    Evidence_unroutable;
+    Evidence_budget_dominant;
+  ]
+
+let code_id = function
+  | Link_oversubscribed -> "BTR-E101"
+  | Data_reserve_exceeded -> "BTR-E102"
+  | Control_reserve_tight -> "BTR-W103"
+  | Node_overutilized -> "BTR-E201"
+  | Response_time_divergent -> "BTR-W202"
+  | Schedule_invalid -> "BTR-E203"
+  | Mode_missing -> "BTR-E301"
+  | Transition_missing -> "BTR-E302"
+  | Recovery_bound_exceeded -> "BTR-E303"
+  | Recovery_bound_understated -> "BTR-W304"
+  | Transition_target_unknown -> "BTR-E401"
+  | Orphan_mode -> "BTR-E402"
+  | Evidence_unroutable -> "BTR-E403"
+  | Evidence_budget_dominant -> "BTR-W404"
+
+let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes
+
+let severity_of = function
+  | Link_oversubscribed | Data_reserve_exceeded | Node_overutilized
+  | Schedule_invalid | Mode_missing | Transition_missing
+  | Recovery_bound_exceeded | Transition_target_unknown | Orphan_mode
+  | Evidence_unroutable ->
+    Error
+  | Control_reserve_tight | Response_time_divergent
+  | Recovery_bound_understated | Evidence_budget_dominant ->
+    Warning
+
+let describe = function
+  | Link_oversubscribed ->
+    "per-member static reservations must fit inside each link's raw capacity (§2.1)"
+  | Data_reserve_exceeded ->
+    "each sender's per-period data traffic must fit its reserved slice in every mode (§2.1)"
+  | Control_reserve_tight ->
+    "one evidence record should serialize on every control reservation within a period (§4.3)"
+  | Node_overutilized -> "per-node demand must fit in the period in every mode (§4.1)"
+  | Response_time_divergent ->
+    "fixed-priority response-time analysis should converge for every node's task set (§4.1)"
+  | Schedule_invalid ->
+    "every mode's static table must pass independent validation (§4.1)"
+  | Mode_missing -> "every fault set of size ≤ f needs a plan (Def. 3.1)"
+  | Transition_missing ->
+    "every reachable one-fault extension needs a staged transition (Def. 3.1)"
+  | Recovery_bound_exceeded ->
+    "every transition's recovery bound must fit inside R (Def. 3.1)"
+  | Recovery_bound_understated ->
+    "stored recovery bounds must cover detection + evidence + migration + activation (§4.4)"
+  | Transition_target_unknown -> "transitions must connect known modes (§4.4)"
+  | Orphan_mode -> "every mode must be reachable from the fault-free root (§4.4)"
+  | Evidence_unroutable ->
+    "evidence must be routable between every pair of survivors on control bandwidth (§4.3)"
+  | Evidence_budget_dominant ->
+    "evidence distribution should not dominate the recovery budget (§4.3)"
+
+type locus = {
+  faulty : int list option;
+  node : int option;
+  flow : int option;
+  link : int option;
+  new_fault : int option;
+}
+
+let no_locus = { faulty = None; node = None; flow = None; link = None; new_fault = None }
+
+type diagnostic = { code : code; message : string; locus : locus }
+
+type report = {
+  diagnostics : diagnostic list;
+  modes : int;
+  transitions : int;
+  fault_sets : int;
+}
+
+let passed r =
+  List.for_all (fun d -> severity_of d.code <> Error) r.diagnostics
+
+let errors r = List.filter (fun d -> severity_of d.code = Error) r.diagnostics
+let warnings r = List.filter (fun d -> severity_of d.code = Warning) r.diagnostics
+
+type view = {
+  config : Planner.config;
+  workload : Graph.t;
+  topology : Topology.t;
+  plans : Planner.plan list;
+  transitions : Planner.transition list;
+}
+
+let view_of_strategy s =
+  {
+    config = Planner.config s;
+    workload = Planner.workload s;
+    topology = Planner.topology s;
+    plans = Planner.all_plans s;
+    transitions = Planner.all_transitions s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+
+let pp_fault_set ppf fs =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int fs))
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "[%s]" (code_id d.code);
+  Option.iter (fun fs -> Format.fprintf ppf " mode %a:" pp_fault_set fs) d.locus.faulty;
+  Format.fprintf ppf " %s" d.message
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>checked %d modes, %d transitions, %d fault sets: %s"
+    r.modes r.transitions r.fault_sets
+    (if passed r then "PASS" else "FAIL");
+  List.iter (fun d -> Format.fprintf ppf "@,%a" pp_diagnostic d) r.diagnostics;
+  Format.fprintf ppf "@]"
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let encode_diagnostic b d =
+  Buffer.add_string b "{\"code\":\"";
+  Buffer.add_string b (code_id d.code);
+  Buffer.add_string b "\",\"severity\":\"";
+  Buffer.add_string b (severity_name (severity_of d.code));
+  Buffer.add_string b "\",\"message\":\"";
+  json_escape b d.message;
+  Buffer.add_char b '"';
+  Option.iter
+    (fun fs ->
+      Buffer.add_string b ",\"faulty\":[";
+      List.iteri
+        (fun i n ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int n))
+        fs;
+      Buffer.add_char b ']')
+    d.locus.faulty;
+  let opt_int key v =
+    Option.iter
+      (fun n ->
+        Buffer.add_string b ",\"";
+        Buffer.add_string b key;
+        Buffer.add_string b "\":";
+        Buffer.add_string b (string_of_int n))
+      v
+  in
+  opt_int "node" d.locus.node;
+  opt_int "flow" d.locus.flow;
+  opt_int "link" d.locus.link;
+  opt_int "new_fault" d.locus.new_fault;
+  Buffer.add_char b '}'
+
+let diagnostic_to_json d =
+  let b = Buffer.create 128 in
+  encode_diagnostic b d;
+  Buffer.contents b
+
+let report_to_json r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"verdict\":\"%s\",\"modes\":%d,\"transitions\":%d,\"fault_sets\":%d,\"diagnostics\":["
+       (if passed r then "pass" else "fail")
+       r.modes r.transitions r.fault_sets);
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      encode_diagnostic b d)
+    r.diagnostics;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The checks. Each takes the view and appends diagnostics.            *)
+
+let key faulty = List.sort_uniq Int.compare faulty
+
+let shares_of v =
+  match v.config.Planner.shares with
+  | Some s -> s
+  | None -> Net.default_shares_for v.topology
+
+(* Every ≤ f sized subset, smallest first, deterministic order. *)
+let fault_patterns nodes f =
+  let rec subsets k = function
+    | _ when k = 0 -> [ [] ]
+    | [] -> []
+    | x :: rest -> List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+  in
+  List.concat_map
+    (fun k -> List.map (List.sort Int.compare) (subsets k nodes))
+    (List.init (Stdlib.max 0 f + 1) Fun.id)
+
+let alive_of v faulty =
+  List.filter (fun n -> not (List.mem n faulty)) (Topology.nodes v.topology)
+
+let xfer_oracle v ~faulty ~cls ~src ~dst ~size_bytes =
+  if src = dst then Some Time.zero
+  else
+    Net.plan_transfer_time v.topology ?shares:v.config.Planner.shares
+      ~avoid:faulty ~cls ~src ~dst ~size_bytes ()
+
+(* Worst-case pairwise control-class latency among survivors — the same
+   decomposition the planner admits transitions against (§4.3). *)
+let evidence_bound v ~faulty =
+  let alive = alive_of v faulty in
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc b ->
+          if a = b then acc
+          else
+            match
+              xfer_oracle v ~faulty ~cls:Net.Control ~src:a ~dst:b
+                ~size_bytes:v.config.Planner.evidence_size
+            with
+            | Some d -> Time.max acc d
+            | None -> acc)
+        acc alive)
+    Time.zero alive
+
+(* (a) Static reservations fit inside every link (babbling-idiot guard). *)
+let check_link_capacity v push =
+  let s = shares_of v in
+  List.iter
+    (fun (l : Topology.link) ->
+      let members = float_of_int (List.length l.members) in
+      let total = members *. (s.Net.data_frac +. s.Net.control_frac) in
+      if total > 1.0 +. 1e-9 then
+        push
+          {
+            code = Link_oversubscribed;
+            message =
+              Printf.sprintf
+                "link %d: %d members x (data %.3f + control %.3f) = %.1f%% of capacity"
+                l.link_id (List.length l.members) s.Net.data_frac
+                s.Net.control_frac (100. *. total);
+            locus = { no_locus with link = Some l.link_id };
+          })
+    (Topology.links v.topology)
+
+(* (a') Per mode: the data bytes each sender pushes per period fit its
+   reserved slice on every link its routes traverse. *)
+let check_data_reserves v push =
+  let shares = shares_of v in
+  List.iter
+    (fun (p : Planner.plan) ->
+      let g = p.Planner.aug.Augment.graph in
+      let period = Graph.period g in
+      (* (sender, link_id) -> bytes per period, plus one witness flow *)
+      let demand = Hashtbl.create 64 in
+      List.iter
+        (fun (fl : Graph.flow) ->
+          match
+            ( List.assoc_opt fl.producer p.Planner.assignment,
+              List.assoc_opt fl.consumer p.Planner.assignment )
+          with
+          | Some src, Some dst when src <> dst -> (
+            match
+              Topology.route_avoiding v.topology ~avoid:p.Planner.faulty ~src ~dst
+            with
+            | None -> ()
+            | Some path ->
+              let here = ref src in
+              List.iter
+                (fun (link : Topology.link) ->
+                  let k = (!here, link.link_id) in
+                  let bytes, _ =
+                    Option.value ~default:(0, fl.flow_id) (Hashtbl.find_opt demand k)
+                  in
+                  Hashtbl.replace demand k (bytes + fl.msg_size, fl.flow_id);
+                  here := Topology.next_hop_node v.topology ~here:!here ~link ~dst)
+                path)
+          | _ -> ())
+        (Graph.flows g);
+      Table.sorted_iter
+        ~cmp:(fun (n1, l1) (n2, l2) ->
+          match Int.compare n1 n2 with 0 -> Int.compare l1 l2 | c -> c)
+        (fun (sender, link_id) (bytes, witness) ->
+          let link = Topology.find_link v.topology link_id in
+          let rate = Net.reservation_rate shares link Net.Data in
+          (* bytes per period vs. rate bytes/s: demand in bytes/s *)
+          let demand_bps = bytes * 1_000_000 / Stdlib.max 1 period in
+          if demand_bps > rate then
+            push
+              {
+                code = Data_reserve_exceeded;
+                message =
+                  Printf.sprintf
+                    "node %d on link %d: %dB per period needs %dB/s, reserve is %dB/s"
+                    sender link_id bytes demand_bps rate;
+                locus =
+                  {
+                    no_locus with
+                    faulty = Some p.Planner.faulty;
+                    node = Some sender;
+                    flow = Some witness;
+                    link = Some link_id;
+                  };
+              })
+        demand)
+    v.plans
+
+(* (a'') Control reservations can carry one evidence record per period. *)
+let check_control_reserves v push =
+  let s = shares_of v in
+  let period = Graph.period v.workload in
+  List.iter
+    (fun (l : Topology.link) ->
+      let rate = Net.reservation_rate s l Net.Control in
+      let serialize =
+        Stdlib.max 1 (v.config.Planner.evidence_size * 1_000_000 / rate)
+      in
+      if Time.compare serialize period > 0 then
+        push
+          {
+            code = Control_reserve_tight;
+            message =
+              Printf.sprintf
+                "link %d: serializing one %dB evidence record takes %s > period %s"
+                l.link_id v.config.Planner.evidence_size (Time.to_string serialize)
+                (Time.to_string period);
+            locus = { no_locus with link = Some l.link_id };
+          })
+    (Topology.links v.topology)
+
+(* (b) Per-mode, per-node schedulability via classical analysis, plus
+   independent re-validation of the static tables. *)
+let check_schedulability v push =
+  List.iter
+    (fun (p : Planner.plan) ->
+      let g = p.Planner.aug.Augment.graph in
+      let period = Graph.period g in
+      let alive = alive_of v p.Planner.faulty in
+      (* RTA deadline: the period, tightened by any sink flow the task
+         produces (advisory — the deployed tables are time-triggered,
+         and a fixed table can order around interference that
+         deadline-monotonic analysis must assume). *)
+      let deadline_of tid =
+        List.fold_left
+          (fun acc (fl : Graph.flow) ->
+            match fl.deadline with
+            | Some d when Time.compare d acc < 0 -> d
+            | _ -> acc)
+          period (Graph.consumers_of g tid)
+      in
+      List.iter
+        (fun node ->
+          let assigned =
+            List.filter_map
+              (fun (tid, n) ->
+                if n = node then Some (tid, (Graph.task g tid).Task.wcet)
+                else None)
+              p.Planner.assignment
+          in
+          match assigned with
+          | [] -> ()
+          | _ ->
+            let ts =
+              List.map
+                (fun (tid, wcet) ->
+                  Analysis.task ~wcet ~period ~deadline:(deadline_of tid) ())
+                assigned
+            in
+            let u = Analysis.utilization ts in
+            if u > 1.0 +. 1e-9 then
+              push
+                {
+                  code = Node_overutilized;
+                  message =
+                    Printf.sprintf "node %d: utilization %.3f > 1 (%d tasks)"
+                      node u (List.length ts);
+                  locus =
+                    { no_locus with faulty = Some p.Planner.faulty; node = Some node };
+                }
+            else if not (Analysis.fp_schedulable ts) then
+              push
+                {
+                  code = Response_time_divergent;
+                  message =
+                    Printf.sprintf
+                      "node %d: fixed-priority response times exceed deadlines (util %.3f)"
+                      node u;
+                  locus =
+                    { no_locus with faulty = Some p.Planner.faulty; node = Some node };
+                })
+        alive;
+      let xfer ~src ~dst ~size_bytes =
+        xfer_oracle v ~faulty:p.Planner.faulty ~cls:Net.Data ~src ~dst ~size_bytes
+      in
+      match Schedule.validate p.Planner.schedule g ~xfer with
+      | exception Invalid_argument msg ->
+        (* A table referencing tasks the mode's graph does not declare
+           is invalid, not a verifier crash. *)
+        push
+          {
+            code = Schedule_invalid;
+            message = msg;
+            locus = { no_locus with faulty = Some p.Planner.faulty };
+          }
+      | Ok () -> ()
+      | Error msg ->
+        push
+          {
+            code = Schedule_invalid;
+            message = msg;
+            locus = { no_locus with faulty = Some p.Planner.faulty };
+          })
+    v.plans
+
+(* (c) Definition 3.1 coverage: every fault set of size ≤ f has a plan,
+   every one-fault extension a transition, every transition fits R. *)
+let check_coverage v push =
+  let plan_for faulty =
+    List.find_opt (fun (p : Planner.plan) -> p.Planner.faulty = key faulty) v.plans
+  in
+  let transition_for ~from_faulty ~new_fault =
+    List.find_opt
+      (fun (tr : Planner.transition) ->
+        tr.Planner.from_faulty = key from_faulty && tr.Planner.new_fault = new_fault)
+      v.transitions
+  in
+  let r = v.config.Planner.recovery_bound in
+  let patterns = fault_patterns (Topology.nodes v.topology) v.config.Planner.f in
+  List.iter
+    (fun faulty ->
+      match plan_for faulty with
+      | None ->
+        push
+          {
+            code = Mode_missing;
+            message =
+              Printf.sprintf "fault set of size %d has no plan" (List.length faulty);
+            locus = { no_locus with faulty = Some faulty };
+          }
+      | Some to_plan ->
+        List.iter
+          (fun y ->
+            let from_faulty = List.filter (fun x -> x <> y) faulty in
+            if plan_for from_faulty <> None then
+              match transition_for ~from_faulty ~new_fault:y with
+              | None ->
+                push
+                  {
+                    code = Transition_missing;
+                    message =
+                      Format.asprintf "no transition %a -> %a" pp_fault_set
+                        from_faulty pp_fault_set faulty;
+                    locus =
+                      { no_locus with faulty = Some from_faulty; new_fault = Some y };
+                  }
+              | Some tr ->
+                if Time.compare tr.Planner.recovery_bound r > 0 then
+                  push
+                    {
+                      code = Recovery_bound_exceeded;
+                      message =
+                        Format.asprintf
+                          "transition %a -> %a: recovery bound %a > R = %a"
+                          pp_fault_set from_faulty pp_fault_set faulty Time.pp
+                          tr.Planner.recovery_bound Time.pp r;
+                      locus =
+                        {
+                          no_locus with
+                          faulty = Some from_faulty;
+                          new_fault = Some y;
+                        };
+                    };
+                (* Recompose the bound from the paper's architecture:
+                   detection (one period + margin) + evidence
+                   distribution + state migration + activation at the
+                   next period boundary (§4.4). *)
+                let period = Graph.period to_plan.Planner.aug.Augment.graph in
+                let floor_bound =
+                  Time.add
+                    (Time.add
+                       (Time.add period v.config.Planner.detection_margin)
+                       (evidence_bound v ~faulty))
+                    (Time.add tr.Planner.migration_bound period)
+                in
+                if Time.compare tr.Planner.recovery_bound floor_bound < 0 then
+                  push
+                    {
+                      code = Recovery_bound_understated;
+                      message =
+                        Format.asprintf
+                          "transition %a -> %a: stored bound %a < recomputed %a"
+                          pp_fault_set from_faulty pp_fault_set faulty Time.pp
+                          tr.Planner.recovery_bound Time.pp floor_bound;
+                      locus =
+                        {
+                          no_locus with
+                          faulty = Some from_faulty;
+                          new_fault = Some y;
+                        };
+                    })
+          faulty)
+    patterns;
+  List.length patterns
+
+(* (d) Mode-graph sanity: transitions connect known modes, every mode
+   is reachable from the fault-free root, evidence can flood in every
+   mode, and its bound leaves room for the rest of the recovery. *)
+let check_mode_graph v push =
+  let known = List.map (fun (p : Planner.plan) -> p.Planner.faulty) v.plans in
+  List.iter
+    (fun (tr : Planner.transition) ->
+      List.iter
+        (fun (name, fs) ->
+          if not (List.mem (key fs) known) then
+            push
+              {
+                code = Transition_target_unknown;
+                message =
+                  Format.asprintf "transition %a -> %a: %s mode has no plan"
+                    pp_fault_set tr.Planner.from_faulty pp_fault_set
+                    tr.Planner.to_faulty name;
+                locus =
+                  {
+                    no_locus with
+                    faulty = Some fs;
+                    new_fault = Some tr.Planner.new_fault;
+                  };
+              })
+        [ ("source", tr.Planner.from_faulty); ("target", tr.Planner.to_faulty) ])
+    v.transitions;
+  (* Reachability from the fault-free root over the transition graph. *)
+  if List.mem [] known then begin
+    let visited = Hashtbl.create 16 in
+    let rec visit fs =
+      if not (Hashtbl.mem visited fs) then begin
+        Hashtbl.replace visited fs ();
+        List.iter
+          (fun (tr : Planner.transition) ->
+            if tr.Planner.from_faulty = fs then visit (key tr.Planner.to_faulty))
+          v.transitions
+      end
+    in
+    visit [];
+    List.iter
+      (fun fs ->
+        if not (Hashtbl.mem visited fs) then
+          push
+            {
+              code = Orphan_mode;
+              message = "mode is unreachable from the fault-free root";
+              locus = { no_locus with faulty = Some fs };
+            })
+      known
+  end;
+  List.iter
+    (fun (p : Planner.plan) ->
+      let faulty = p.Planner.faulty in
+      let alive = alive_of v faulty in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a < b then
+                match
+                  xfer_oracle v ~faulty ~cls:Net.Control ~src:a ~dst:b
+                    ~size_bytes:v.config.Planner.evidence_size
+                with
+                | Some _ -> ()
+                | None ->
+                  push
+                    {
+                      code = Evidence_unroutable;
+                      message =
+                        Printf.sprintf
+                          "no control route between survivors %d and %d" a b;
+                      locus = { no_locus with faulty = Some faulty; node = Some a };
+                    })
+            alive)
+        alive;
+      let eb = evidence_bound v ~faulty in
+      if faulty <> [] && Time.compare (Time.mul eb 2) v.config.Planner.recovery_bound > 0
+      then
+        push
+          {
+            code = Evidence_budget_dominant;
+            message =
+              Format.asprintf
+                "evidence distribution bound %a exceeds half of R = %a" Time.pp eb
+                Time.pp v.config.Planner.recovery_bound;
+            locus = { no_locus with faulty = Some faulty };
+          })
+    v.plans
+
+(* ------------------------------------------------------------------ *)
+
+let verify_view ?(obs = Obs.null) v =
+  let rev = ref [] in
+  let push d = rev := d :: !rev in
+  check_link_capacity v push;
+  check_data_reserves v push;
+  check_control_reserves v push;
+  check_schedulability v push;
+  let fault_sets = check_coverage v push in
+  check_mode_graph v push;
+  let diagnostics =
+    let all = List.rev !rev in
+    List.filter (fun d -> severity_of d.code = Error) all
+    @ List.filter (fun d -> severity_of d.code = Warning) all
+  in
+  let report =
+    {
+      diagnostics;
+      modes = List.length v.plans;
+      transitions = List.length v.transitions;
+      fault_sets;
+    }
+  in
+  if Obs.enabled obs then
+    List.iter
+      (fun d ->
+        Obs.emit obs ~at:Time.zero
+          ?node:d.locus.node Obs.Check
+          (Obs.Check_diagnostic
+             {
+               code = code_id d.code;
+               severity = severity_name (severity_of d.code);
+               detail = Format.asprintf "%a" pp_diagnostic d;
+             }))
+      report.diagnostics;
+  report
+
+let verify ?obs s = verify_view ?obs (view_of_strategy s)
+
+let to_planner_error r =
+  if passed r then None
+  else
+    Some
+      (Planner.Rejected
+         {
+           diagnostics =
+             List.map
+               (fun d -> (code_id d.code, Format.asprintf "%a" pp_diagnostic d))
+               (errors r);
+         })

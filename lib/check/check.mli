@@ -1,0 +1,148 @@
+(** Static verification of recovery strategies (Definition 3.1).
+
+    The paper's central promise is that a BTR system {e guarantees}
+    recovery within [R(f)] for every fault set of size at most [f].
+    That is a property of the offline strategy, so it should be proved
+    or refuted before any simulation runs — the way FTOS-Verify argues
+    fault-tolerance properties should be checked on the system model,
+    and the way GeoShield pre-validates recovery plans. This module
+    takes a built {!Planner.t} (or a raw {!view} of one, so tests can
+    corrupt it) and statically discharges the obligations:
+
+    - {b bandwidth} (§2.1): the per-member static reservations fit
+      inside every link's raw capacity (the babbling-idiot guard), and
+      in every mode the data traffic each sender must push per period
+      fits inside its reserved slice;
+    - {b schedulability} (§4.1): per mode and node, utilization and
+      fixed-priority response-time bounds from {!Btr_sched.Analysis},
+      plus full independent re-validation of the static tables;
+    - {b recovery coverage} (Def. 3.1): every fault set of size ≤ f has
+      a plan; every single-fault extension has a transition whose
+      staged state and activation path fit inside R;
+    - {b mode-graph sanity} (§4.4): transitions connect known modes,
+      no mode is unreachable from the fault-free root, and evidence can
+      be distributed between every pair of survivors on the reserved
+      control bandwidth.
+
+    Verdicts are structured diagnostics with stable error codes
+    (["BTR-E303"]); they are rendered as text, emitted on the
+    {!Btr_obs.Obs} bus and serialized as JSON. [Btr.Scenario] runs the
+    verifier after planning and refuses to deploy a strategy that fails
+    ({!Planner.error.Rejected}). *)
+
+module Graph = Btr_workload.Graph
+module Topology = Btr_net.Topology
+module Planner = Btr_planner.Planner
+
+type severity = Error | Warning
+
+val severity_name : severity -> string
+(** ["error"] / ["warning"]. *)
+
+(** Stable diagnostic codes. The numeric ranges group the Definition
+    3.1 obligations: 1xx bandwidth, 2xx schedulability, 3xx recovery
+    coverage, 4xx mode-graph sanity. Errors make {!passed} false;
+    warnings do not. *)
+type code =
+  | Link_oversubscribed  (** BTR-E101: static reservations exceed a link's raw capacity *)
+  | Data_reserve_exceeded
+      (** BTR-E102: a sender's per-period data traffic does not fit its
+          reserved slice in some mode *)
+  | Control_reserve_tight
+      (** BTR-W103: one evidence record cannot be serialized on some
+          link's control reservation within a period *)
+  | Node_overutilized  (** BTR-E201: a node's demand exceeds the period in some mode *)
+  | Response_time_divergent
+      (** BTR-W202: fixed-priority response-time analysis diverges for a
+          node's task set (advisory — the deployed tables are
+          time-triggered, not fixed-priority) *)
+  | Schedule_invalid
+      (** BTR-E203: a mode's static table fails independent validation *)
+  | Mode_missing  (** BTR-E301: a fault set of size ≤ f has no plan *)
+  | Transition_missing
+      (** BTR-E302: a reachable mode extension has no staged transition *)
+  | Recovery_bound_exceeded  (** BTR-E303: a transition's bound exceeds R *)
+  | Recovery_bound_understated
+      (** BTR-W304: a stored recovery bound is smaller than the
+          detection + evidence + migration + activation decomposition
+          recomputed from first principles *)
+  | Transition_target_unknown
+      (** BTR-E401: a transition names a mode that has no plan *)
+  | Orphan_mode
+      (** BTR-E402: a mode unreachable from the fault-free root via
+          transitions *)
+  | Evidence_unroutable
+      (** BTR-E403: two survivors of some mode have no control-class
+          route, so evidence cannot flood *)
+  | Evidence_budget_dominant
+      (** BTR-W404: recomputed evidence distribution alone consumes
+          more than half of R *)
+
+val all_codes : code list
+val code_id : code -> string
+(** ["BTR-E101"], ["BTR-W304"], … stable across releases. *)
+
+val code_of_id : string -> code option
+val severity_of : code -> severity
+val describe : code -> string
+(** One-line human description of the obligation the code checks. *)
+
+(** Where a diagnostic points. Unset fields do not apply. *)
+type locus = {
+  faulty : int list option;  (** the mode (fault pattern) concerned *)
+  node : int option;
+  flow : int option;
+  link : int option;
+  new_fault : int option;  (** transition: the arriving fault *)
+}
+
+val no_locus : locus
+
+type diagnostic = { code : code; message : string; locus : locus }
+
+type report = {
+  diagnostics : diagnostic list;  (** errors first, then warnings *)
+  modes : int;  (** plans examined *)
+  transitions : int;
+  fault_sets : int;  (** fault patterns enumerated for coverage *)
+}
+
+val passed : report -> bool
+(** No [Error]-severity diagnostics. *)
+
+val errors : report -> diagnostic list
+val warnings : report -> diagnostic list
+
+(** A raw, correctable image of a strategy. {!verify} works on views so
+    that tests can corrupt one field at a time and exercise every
+    diagnostic; {!view_of_strategy} extracts the faithful view. *)
+type view = {
+  config : Planner.config;
+  workload : Graph.t;
+  topology : Topology.t;
+  plans : Planner.plan list;
+  transitions : Planner.transition list;
+}
+
+val view_of_strategy : Planner.t -> view
+
+val verify_view : ?obs:Btr_obs.Obs.t -> view -> report
+(** Runs every check. Each diagnostic is also emitted on [obs] (default
+    null) as a [Check_diagnostic] event at simulated time 0. *)
+
+val verify : ?obs:Btr_obs.Obs.t -> Planner.t -> report
+(** [verify_view] of [view_of_strategy]. *)
+
+val to_planner_error : report -> Planner.error option
+(** [Some (Rejected _)] carrying the error diagnostics when the report
+    failed; [None] when it {!passed}. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** [[BTR-E303] mode {1,3}: transition +3 recovery bound 210ms > R 200ms]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val diagnostic_to_json : diagnostic -> string
+val report_to_json : report -> string
+(** One JSON object; diagnostics in report order; deterministic
+    byte-for-byte for a given view. *)

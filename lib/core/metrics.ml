@@ -135,15 +135,18 @@ let timeline t ~orig_flow =
   List.init t.finalized (fun p ->
       Option.value ~default:Missing (status t ~orig_flow ~period:p))
 
+let cmp_flow_period (f1, p1) (f2, p2) =
+  match Int.compare f1 f2 with 0 -> Int.compare p1 p2 | c -> c
+
 let lanes_used t ~orig_flow =
   let acc = Hashtbl.create 4 in
-  Hashtbl.iter
+  Table.sorted_iter ~cmp:cmp_flow_period
     (fun (fl, _) d ->
       if fl = orig_flow then
         Hashtbl.replace acc d.lane
           (1 + Option.value ~default:0 (Hashtbl.find_opt acc d.lane)))
     t.deliveries;
-  List.sort compare (Hashtbl.fold (fun l c acc -> (l, c) :: acc) acc [])
+  Table.sorted_bindings ~cmp:Int.compare acc
 
 let injections t = List.rev t.rev_injections
 
@@ -153,7 +156,9 @@ let counts t ~orig_flow =
     (fun s ->
       Hashtbl.replace tally s (1 + Option.value ~default:0 (Hashtbl.find_opt tally s)))
     (timeline t ~orig_flow);
-  List.sort compare (Hashtbl.fold (fun s c acc -> (s, c) :: acc) tally [])
+  Table.sorted_bindings
+    ~cmp:(fun a b -> Int.compare (status_index a) (status_index b))
+    tally
 
 let fold_statuses t fn init =
   List.fold_left

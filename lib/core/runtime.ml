@@ -229,14 +229,14 @@ let flow_in_plan (plan : Planner.plan) fid =
    them once evidence has spread (§4.4: the new plan avoids them). *)
 let refresh_route_avoid t =
   let avoid = Hashtbl.create 8 in
-  Hashtbl.iter
+  Table.sorted_iter ~cmp:Int.compare
     (fun _ n ->
       if n.byz = None then
         List.iter
           (fun x -> Hashtbl.replace avoid x ())
           (Modeswitch.Fault_set.nodes n.fault_set))
     t.nodes;
-  Net.set_route_avoid t.net (Hashtbl.fold (fun k () acc -> k :: acc) avoid [])
+  Net.set_route_avoid t.net (Table.sorted_keys ~cmp:Int.compare avoid)
 
 (* ------------------------------------------------------------------ *)
 (* Evidence pipeline                                                    *)
@@ -428,7 +428,7 @@ let gather_inputs (n : node) plan tid period =
       | Some (l, _, _) when l <= lane -> ()
       | _ -> Hashtbl.replace best orig_flow (lane, fl, e))
     present;
-  Hashtbl.fold
+  Table.sorted_fold ~cmp:Int.compare
     (fun orig_flow (_, fl, e) acc ->
       (fl, e, { Behavior.orig_flow; value = e.value }) :: acc)
     best []
@@ -646,7 +646,7 @@ let run_sink t (n : node) plan tid period =
       if fl.consumer = Augment.orig_of aug tid && not (Hashtbl.mem groups fl.flow_id)
       then Metrics.record_shed t.metrics ~orig_flow:fl.flow_id ~period)
     (Graph.sink_flows (Planner.workload t.strategy));
-  Hashtbl.iter
+  Table.sorted_iter ~cmp:Int.compare
     (fun orig_flow lanes ->
       let candidates =
         List.sort (fun (a, _) (b, _) -> Int.compare a b) !lanes
@@ -866,8 +866,10 @@ let babble t (n : node) period =
    judged Shed, even when the sink itself is gone and cannot say so.
    The reference is the most-advanced plan among correct nodes. *)
 let mark_uncarried_shed t period =
+  (* Sorted traversal: ties between equally-advanced plans must break
+     the same way every run. *)
   let reference =
-    Hashtbl.fold
+    Table.sorted_fold ~cmp:Int.compare
       (fun _ n best ->
         if not n.running then best
         else
@@ -895,16 +897,22 @@ let mark_uncarried_shed t period =
       (Graph.sink_flows (Planner.workload t.strategy))
 
 let boundary t period =
-  Hashtbl.iter (fun _ n -> if n.running then sweep_watchdog t n) t.nodes;
+  (* Node order here fixes the order of watchdog sweeps, plan
+     activations and checkpoint signing — all trace-visible. *)
+  Table.sorted_iter ~cmp:Int.compare
+    (fun _ n -> if n.running then sweep_watchdog t n)
+    t.nodes;
   (* Judge the finished period under the plans that actually governed
      it, before anyone activates a pending plan for the next one. *)
   if period > 0 then begin
     mark_uncarried_shed t (period - 1);
     Metrics.finalize_period t.metrics ~golden:t.golden ~period:(period - 1)
   end;
-  Hashtbl.iter (fun _ n -> if n.running then activate_pending t n) t.nodes;
+  Table.sorted_iter ~cmp:Int.compare
+    (fun _ n -> if n.running then activate_pending t n)
+    t.nodes;
   if period < t.total_periods then
-    Hashtbl.iter
+    Table.sorted_iter ~cmp:Int.compare
       (fun _ n ->
         if n.running then begin
           (* Commit the log before entering the new period: the guard
@@ -940,7 +948,9 @@ let run t ~horizon =
   if t.started then invalid_arg "Runtime.run: already ran";
   t.started <- true;
   t.total_periods <- horizon / t.period_len;
-  Hashtbl.iter (fun id n -> Net.set_handler t.net id (on_receive t n)) t.nodes;
+  Table.sorted_iter ~cmp:Int.compare
+    (fun id n -> Net.set_handler t.net id (on_receive t n))
+    t.nodes;
   List.iter
     (fun (ev : Fault.event) ->
       ignore (Engine.schedule t.eng ~at:ev.Fault.at (fun _ -> apply_script_event t ev)))

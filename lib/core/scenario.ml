@@ -55,7 +55,15 @@ let avionics_demo ?(seed = 1) ?obs () =
 
 let plan s =
   let cfg = s.tune (Planner.default_config ~f:s.f ~recovery_bound:s.recovery_bound) in
-  Planner.build cfg s.workload s.topology
+  match Planner.build cfg s.workload s.topology with
+  | Error _ as e -> e
+  | Ok strategy -> (
+    (* Static verification gate (Def. 3.1): an infeasible strategy is
+       rejected with diagnostics instead of being silently simulated. *)
+    let report = Btr_check.Check.verify ?obs:s.obs strategy in
+    match Btr_check.Check.to_planner_error report with
+    | None -> Ok strategy
+    | Some e -> Error e)
 
 let prepare s =
   match plan s with

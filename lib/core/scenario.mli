@@ -50,7 +50,10 @@ val avionics_demo : ?seed:int -> ?obs:Btr_obs.Obs.t -> unit -> spec
     every subsystem. *)
 
 val plan : spec -> (Planner.t, Planner.error) result
-(** Just the offline phase. *)
+(** Just the offline phase: build the strategy, then statically verify
+    it with {!Btr_check.Check}. A strategy with [Error]-severity
+    diagnostics yields [Error (Planner.Rejected _)] instead of being
+    deployed; the diagnostics are also emitted on [spec.obs]. *)
 
 val prepare : spec -> (Runtime.t, Planner.error) result
 (** Plan and deploy, but do not run — callers can hook actuators

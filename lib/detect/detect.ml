@@ -56,13 +56,18 @@ module Watchdog = struct
       end
       else None
 
+  let cmp_flow_period (f1, p1) (f2, p2) =
+    match Int.compare f1 f2 with 0 -> Int.compare p1 p2 | c -> c
+
   let overdue t ~now =
-    let due = ref [] in
-    Hashtbl.iter
-      (fun (flow, period) e ->
-        if (not e.met) && Time.compare now (Time.add e.deadline t.margin) > 0 then
-          due := ((flow, period), e) :: !due)
-      t.table;
+    (* Sorted traversal: the report order feeds evidence emission and
+       the telemetry trace, so it must not depend on insertion order. *)
+    let due =
+      List.filter
+        (fun (_, e) ->
+          (not e.met) && Time.compare now (Time.add e.deadline t.margin) > 0)
+        (Table.sorted_bindings ~cmp:cmp_flow_period t.table)
+    in
     (* Mark as met so the next sweep skips them; report a sender only
        once it has accumulated [strikes] misses (loss tolerance). *)
     List.filter_map
@@ -78,10 +83,12 @@ module Watchdog = struct
           Some (flow, period, e.from_node)
         end
         else None)
-      (List.sort compare !due)
+      due
 
   let pending t =
-    Hashtbl.fold (fun _ e acc -> if e.met then acc else acc + 1) t.table 0
+    Table.sorted_fold ~cmp:cmp_flow_period
+      (fun _ e acc -> if e.met then acc else acc + 1)
+      t.table 0
 end
 
 module Attribution = struct

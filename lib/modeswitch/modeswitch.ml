@@ -24,7 +24,11 @@ module Fault_set = struct
     let p = norm p in
     if List.mem p t.path_list then false
     else begin
-      t.path_list <- List.sort compare (p :: t.path_list);
+      t.path_list <-
+        List.sort
+          (fun (a1, b1) (a2, b2) ->
+            match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+          (p :: t.path_list);
       true
     end
 

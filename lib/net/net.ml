@@ -262,18 +262,19 @@ let default_shares_for topo =
   in
   default_shares ~n_members:worst
 
+let reservation_rate shares (link : Topology.link) cls =
+  let f = match cls with Data -> shares.data_frac | Control -> shares.control_frac in
+  Stdlib.max 1 (int_of_float (float_of_int link.bandwidth_bps *. f))
+
 let plan_transfer_time topo ?shares ?(avoid = []) ~cls ~src ~dst ~size_bytes () =
   let shares = match shares with Some s -> s | None -> default_shares_for topo in
-  let f = match cls with Data -> shares.data_frac | Control -> shares.control_frac in
   match Topology.route_avoiding topo ~avoid ~src ~dst with
   | None -> None
   | Some path ->
     let total =
       List.fold_left
         (fun acc (link : Topology.link) ->
-          let rate =
-            Stdlib.max 1 (int_of_float (float_of_int link.bandwidth_bps *. f))
-          in
+          let rate = reservation_rate shares link cls in
           Time.add acc
             (Time.add (serialize_time ~size:size_bytes ~rate) link.latency))
         Time.zero path

@@ -39,6 +39,16 @@ type shares = { data_frac : float; control_frac : float }
 val default_shares : n_members:int -> shares
 (** Splits 100% of the link evenly among members, 80/20 data/control. *)
 
+val default_shares_for : Topology.t -> shares
+(** The shares {!create} (and {!plan_transfer_time}) fall back to when
+    none are given: {!default_shares} sized for the most-populated link
+    of the topology. Exposed so offline analyses ({!Btr_check}) reason
+    about exactly the reservations the runtime will enforce. *)
+
+val reservation_rate : shares -> Topology.link -> cls -> int
+(** Bytes/second one member's static reservation provides on [link] for
+    [cls] — the offline counterpart of {!reserved_rate}. *)
+
 type 'a recv = {
   src : node_id;
   dst : node_id;

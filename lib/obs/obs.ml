@@ -11,6 +11,7 @@ type subsystem =
   | Fault
   | Plant
   | Baseline
+  | Check
 
 let subsystem_name = function
   | Sim -> "sim"
@@ -23,6 +24,7 @@ let subsystem_name = function
   | Fault -> "fault"
   | Plant -> "plant"
   | Baseline -> "baseline"
+  | Check -> "check"
 
 type payload =
   | Run_started of { until : Time.t }
@@ -65,6 +67,7 @@ type payload =
   | Verdict of { flow : int; period : int; status : string }
   | Standby_activated of { task : int; period : int }
   | Audit_exposed of { node : int }
+  | Check_diagnostic of { code : string; severity : string; detail : string }
   | Note of { what : string; detail : string }
 
 type event = {
@@ -124,12 +127,16 @@ module Registry = struct
       g
 
   let counters t =
-    List.sort compare
-      (Hashtbl.fold (fun k c acc -> (k, c.Counter.value) :: acc) t.counters [])
+    Table.sorted_fold ~cmp:String.compare
+      (fun k c acc -> (k, c.Counter.value) :: acc)
+      t.counters []
+    |> List.rev
 
   let gauges t =
-    List.sort compare
-      (Hashtbl.fold (fun k g acc -> (k, g.Gauge.value) :: acc) t.gauges [])
+    Table.sorted_fold ~cmp:String.compare
+      (fun k g acc -> (k, g.Gauge.value) :: acc)
+      t.gauges []
+    |> List.rev
 
   let json_escape b s =
     String.iter
@@ -191,6 +198,7 @@ let payload_tag = function
   | Verdict _ -> "verdict"
   | Standby_activated _ -> "standby-activated"
   | Audit_exposed _ -> "audit-exposed"
+  | Check_diagnostic _ -> "check-diagnostic"
   | Note _ -> "note"
 
 let add_int b key v =
@@ -294,6 +302,10 @@ let add_payload b = function
     add_int b "task" task;
     add_int b "period" period
   | Audit_exposed { node } -> add_int b "exposed" node
+  | Check_diagnostic { code; severity; detail } ->
+    add_str b "code" code;
+    add_str b "severity" severity;
+    add_str b "detail" detail
   | Note { what; detail } ->
     add_str b "what" what;
     add_str b "detail" detail

@@ -37,6 +37,7 @@ type subsystem =
   | Fault
   | Plant
   | Baseline
+  | Check  (** the static plan verifier ({!Btr_check}) *)
 
 val subsystem_name : subsystem -> string
 (** Lowercase stable name, used in JSON output and metric names. *)
@@ -99,6 +100,8 @@ type payload =
       (** ZZ-style reactive activation in a baseline *)
   | Audit_exposed of { node : int }
       (** a self-stabilization audit caught a faulty node *)
+  | Check_diagnostic of { code : string; severity : string; detail : string }
+      (** a static-verification finding (code like [BTR-E303]) *)
   | Note of { what : string; detail : string }
       (** escape hatch for one-off annotations; keep rare *)
 

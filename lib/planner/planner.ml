@@ -80,6 +80,7 @@ type error =
   | Unschedulable of { faulty : int list; reason : string }
   | Disconnected of { faulty : int list }
   | Bad_config of string
+  | Rejected of { diagnostics : (string * string) list }
 
 let pp_fault_set ppf fs =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int fs))
@@ -90,8 +91,16 @@ let pp_error ppf = function
   | Disconnected { faulty } ->
     Format.fprintf ppf "mode %a disconnects the surviving nodes" pp_fault_set faulty
   | Bad_config msg -> Format.fprintf ppf "bad config: %s" msg
+  | Rejected { diagnostics } ->
+    Format.fprintf ppf "strategy rejected by static verification:";
+    List.iter
+      (fun (code, msg) -> Format.fprintf ppf "@\n  [%s] %s" code msg)
+      diagnostics
 
 let key faulty = String.concat "," (List.map string_of_int (List.sort_uniq Int.compare faulty))
+
+let cmp_transition_key (k1, y1) (k2, y2) =
+  match String.compare k1 k2 with 0 -> Int.compare y1 y2 | c -> c
 
 let xfer_of cfg topo ~faulty ~cls ~src ~dst ~size_bytes =
   Net.plan_transfer_time topo ?shares:cfg.shares ~avoid:faulty ~cls ~src ~dst
@@ -356,6 +365,8 @@ let build cfg workload topo =
          (Printf.sprintf "degree %d > surviving nodes %d: lanes cannot be separated"
             cfg.degree (n - cfg.f)))
   else begin
+    (* btr-lint: allow wall-clock — planning_seconds is wall-clock
+       telemetry about the planner itself; it never enters a trace. *)
     let started_at = Sys.time () in
     let plans = Hashtbl.create 64 in
     let transitions = Hashtbl.create 64 in
@@ -388,11 +399,14 @@ let build cfg workload topo =
               faulty)
         (fault_patterns (Topology.nodes topo) cfg.f);
       let worst_recovery =
-        Hashtbl.fold (fun _ tr acc -> Time.max acc tr.recovery_bound) transitions
-          Time.zero
+        Table.sorted_fold ~cmp:cmp_transition_key
+          (fun _ tr acc -> Time.max acc tr.recovery_bound)
+          transitions Time.zero
       in
       let total_moved_state =
-        Hashtbl.fold (fun _ tr acc -> acc + tr.state_bytes) transitions 0
+        Table.sorted_fold ~cmp:cmp_transition_key
+          (fun _ tr acc -> acc + tr.state_bytes)
+          transitions 0
       in
       Ok
         {
@@ -405,6 +419,7 @@ let build cfg workload topo =
             {
               modes = Hashtbl.length plans;
               transitions = Hashtbl.length transitions;
+              (* btr-lint: allow wall-clock — planner self-telemetry *)
               planning_seconds = Sys.time () -. started_at;
               worst_recovery;
               total_moved_state;
@@ -427,8 +442,15 @@ let initial_plan t =
 let transition_for t ~from_faulty ~new_fault =
   Hashtbl.find_opt t.transitions (key from_faulty, new_fault)
 
-let all_plans t = Hashtbl.fold (fun _ p acc -> p :: acc) t.plans []
-let all_transitions t = Hashtbl.fold (fun _ tr acc -> tr :: acc) t.transitions []
+(* Sorted by mode key, so callers see plans and transitions in a
+   stable order regardless of planning insertion history. *)
+let all_plans t =
+  List.rev (Table.sorted_fold ~cmp:String.compare (fun _ p acc -> p :: acc) t.plans [])
+
+let all_transitions t =
+  List.rev
+    (Table.sorted_fold ~cmp:cmp_transition_key (fun _ tr acc -> tr :: acc)
+       t.transitions [])
 
 let admitted t =
   Time.compare t.stats.worst_recovery t.config.recovery_bound <= 0

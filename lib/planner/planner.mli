@@ -98,6 +98,11 @@ type error =
       (** even the highest-criticality-only workload does not fit *)
   | Disconnected of { faulty : int list }
   | Bad_config of string
+  | Rejected of { diagnostics : (string * string) list }
+      (** the built strategy failed static verification
+          ({!Btr_check.Check}); pairs are (error code, message). The
+          planner itself never constructs this — the verifier does, and
+          {!Btr.Scenario} surfaces it in place of a deployable strategy. *)
 
 val pp_error : Format.formatter -> error -> unit
 

@@ -40,7 +40,7 @@ let deadline_points ts ~upto =
         d := Time.add !d t.period
       done)
     ts;
-  List.sort Time.compare (Hashtbl.fold (fun k () acc -> k :: acc) points [])
+  Table.sorted_keys ~cmp:Time.compare points
 
 let edf_schedulable ts =
   match ts with

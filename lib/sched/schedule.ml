@@ -75,7 +75,7 @@ let list_schedule g ~place ~xfer =
           (slot :: Option.value ~default:[] (Hashtbl.find_opt by_node node));
         Hashtbl.replace node_free node finish)
       (Graph.topo_order g);
-    Hashtbl.iter
+    Table.sorted_iter ~cmp:Int.compare
       (fun n slots ->
         Hashtbl.replace by_node n
           (List.sort (fun a b -> Time.compare a.start b.start) slots))
@@ -100,8 +100,7 @@ let list_schedule g ~place ~xfer =
 
 let period t = t.period
 
-let nodes t =
-  List.sort Int.compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.by_node [])
+let nodes t = Table.sorted_keys ~cmp:Int.compare t.by_node
 
 let slots_on t n = Option.value ~default:[] (Hashtbl.find_opt t.by_node n)
 
@@ -111,7 +110,7 @@ let window t tid =
 let node_of t tid = Option.map fst (Hashtbl.find_opt t.by_task tid)
 
 let makespan t =
-  Hashtbl.fold
+  Table.sorted_fold ~cmp:Int.compare
     (fun _ slots acc ->
       List.fold_left (fun acc s -> Time.max acc s.finish) acc slots)
     t.by_node Time.zero
@@ -130,8 +129,9 @@ let sink_completion t g flow_id =
 let validate t g ~xfer =
   let problems = ref [] in
   let err fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
-  (* Slots within the period and non-overlapping per node. *)
-  Hashtbl.iter
+  (* Slots within the period and non-overlapping per node. Sorted
+     traversal: the problem list's order is part of the error string. *)
+  Table.sorted_iter ~cmp:Int.compare
     (fun n slots ->
       let rec check_overlap = function
         | a :: (b :: _ as rest) ->

@@ -53,3 +53,21 @@ let print t =
 
 let cell_f x = Printf.sprintf "%.3f" x
 let cell_pct x = Printf.sprintf "%.1f%%" x
+
+(* Order-stable hashtable traversal. Hashtbl.iter/fold order depends on
+   the table's insertion history, so any result that reaches a trace,
+   an error message or a JSON document must go through these instead
+   (btr_lint's hashtbl-order rule enforces it repo-wide). *)
+
+let sorted_bindings ~cmp h =
+  (* btr-lint: allow hashtbl-order — this is the sorted helper itself *)
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] in
+  List.sort (fun (a, _) (b, _) -> cmp a b) bindings
+
+let sorted_keys ~cmp h = List.map fst (sorted_bindings ~cmp h)
+
+let sorted_iter ~cmp f h =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~cmp h)
+
+let sorted_fold ~cmp f h init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings ~cmp h)

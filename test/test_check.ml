@@ -1,0 +1,354 @@
+(* Static verifier: a pristine strategy passes; for every diagnostic
+   code there is a minimal corrupted view that makes it fire; and the
+   headline property — the verifier accepting a strategy implies
+   simulated recovery stays within R. *)
+
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Generators = Btr_workload.Generators
+module Topology = Btr_net.Topology
+module Net = Btr_net.Net
+module Planner = Btr_planner.Planner
+module Augment = Btr_planner.Augment
+module Check = Btr_check.Check
+module Fault = Btr_fault.Fault
+
+let check_bool = Alcotest.(check bool)
+
+let clique n =
+  Topology.fully_connected ~n ~bandwidth_bps:10_000_000 ~latency:(Time.us 50)
+
+let strategy =
+  lazy
+    (let g = Generators.avionics ~n_nodes:6 in
+     let cfg = Planner.default_config ~f:1 ~recovery_bound:(Time.ms 200) in
+     match Planner.build cfg g (clique 6) with
+     | Ok s -> s
+     | Error e -> Alcotest.failf "planner failed: %a" Planner.pp_error e)
+
+let base_view () = Check.view_of_strategy (Lazy.force strategy)
+
+let has code report =
+  List.exists
+    (fun (d : Check.diagnostic) -> d.code = code)
+    report.Check.diagnostics
+
+(* Corrupt the view, verify, and require [code] among the diagnostics
+   (an Error code must also fail the report). *)
+let fires code corrupt () =
+  let report = Check.verify_view (corrupt (base_view ())) in
+  check_bool (Check.code_id code ^ " fires") true (has code report);
+  match Check.severity_of code with
+  | Check.Error ->
+    check_bool (Check.code_id code ^ " fails the report") false
+      (Check.passed report)
+  | Check.Warning -> ()
+
+let with_shares v s =
+  { v with Check.config = { v.Check.config with Planner.shares = Some s } }
+
+let test_pristine_passes () =
+  let report = Check.verify_view (base_view ()) in
+  check_bool "avionics strategy passes" true (Check.passed report);
+  check_bool "no error diagnostics" true (Check.errors report = [])
+
+let test_json_shape () =
+  let report = Check.verify_view (base_view ()) in
+  let json = Check.report_to_json report in
+  check_bool "json verdict" true
+    (String.length json > 0 && String.sub json 0 18 = "{\"verdict\":\"pass\",")
+
+(* BTR-E101: clique links have 2 members; 2 x (0.5 + 0.2) > 1. *)
+let e101 =
+  fires Check.Link_oversubscribed (fun v ->
+      with_shares v { Net.data_frac = 0.5; control_frac = 0.2 })
+
+(* BTR-E102: a data reserve of ~1 B/s cannot carry any flow. *)
+let e102 =
+  fires Check.Data_reserve_exceeded (fun v ->
+      with_shares v { Net.data_frac = 1e-9; control_frac = 0.05 })
+
+(* BTR-W103: a control reserve of ~1 B/s takes 160s per evidence record. *)
+let w103 =
+  fires Check.Control_reserve_tight (fun v ->
+      with_shares v { Net.data_frac = 0.4; control_frac = 1e-9 })
+
+(* BTR-E201: every task of the fault-free mode piled onto node 0. *)
+let e201 =
+  fires Check.Node_overutilized (fun v ->
+      {
+        v with
+        Check.plans =
+          List.map
+            (fun (p : Planner.plan) ->
+              if p.faulty = [] then
+                {
+                  p with
+                  assignment = List.map (fun (t, _) -> (t, 0)) p.assignment;
+                }
+              else p)
+            v.Check.plans;
+      })
+
+(* BTR-W202: utilization 0.9 <= 1, but a 4ms task feeding a sink flow
+   with a 2ms deadline diverges under deadline-monotonic RTA. *)
+let w202 =
+  fires Check.Response_time_divergent (fun v ->
+      let g =
+        Graph.create_relaxed ~period:(Time.ms 10)
+          ~tasks:
+            [
+              Task.make ~id:0 ~name:"a" ~wcet:(Time.ms 4) ();
+              Task.make ~id:1 ~name:"b" ~wcet:(Time.ms 4) ();
+              Task.make ~id:2 ~name:"s" ~kind:Task.Sink ~wcet:(Time.ms 1)
+                ~pinned:0 ();
+            ]
+          ~flows:
+            [
+              {
+                Graph.flow_id = 0;
+                producer = 1;
+                consumer = 2;
+                msg_size = 8;
+                deadline = Some (Time.ms 2);
+              };
+            ]
+      in
+      let aug =
+        Augment.augment g ~nodes:[ 0; 1; 2; 3; 4; 5 ] ~degree:1
+          ~protect_level:Task.Safety_critical ~checker_overhead:(Time.us 100)
+          ~guard_wcet:(Time.us 200) ~digest_size:32
+      in
+      {
+        v with
+        Check.plans =
+          List.map
+            (fun (p : Planner.plan) ->
+              if p.faulty = [] then
+                { p with aug; assignment = [ (0, 0); (1, 0); (2, 0) ] }
+              else p)
+            v.Check.plans;
+      })
+
+(* BTR-E203: the fault-free mode handed a degraded mode's table. *)
+let e203 =
+  fires Check.Schedule_invalid (fun v ->
+      let donor =
+        List.find (fun (p : Planner.plan) -> p.faulty <> []) v.Check.plans
+      in
+      {
+        v with
+        Check.plans =
+          List.map
+            (fun (p : Planner.plan) ->
+              if p.faulty = [] then { p with schedule = donor.schedule } else p)
+            v.Check.plans;
+      })
+
+(* BTR-E301: the plan for fault set {5} deleted. *)
+let e301 =
+  fires Check.Mode_missing (fun v ->
+      {
+        v with
+        Check.plans =
+          List.filter (fun (p : Planner.plan) -> p.faulty <> [ 5 ]) v.Check.plans;
+      })
+
+(* BTR-E302: the transition {} -> {3} deleted. *)
+let drop_transition_to_3 v =
+  {
+    v with
+    Check.transitions =
+      List.filter
+        (fun (tr : Planner.transition) ->
+          not (tr.from_faulty = [] && tr.new_fault = 3))
+        v.Check.transitions;
+  }
+
+let e302 = fires Check.Transition_missing drop_transition_to_3
+
+(* BTR-E303: R shrunk below every transition's bound. *)
+let e303 =
+  fires Check.Recovery_bound_exceeded (fun v ->
+      {
+        v with
+        Check.config = { v.Check.config with Planner.recovery_bound = Time.ms 1 };
+      })
+
+(* BTR-W304: a stored bound forged down to 1µs. *)
+let w304 =
+  fires Check.Recovery_bound_understated (fun v ->
+      {
+        v with
+        Check.transitions =
+          List.map
+            (fun (tr : Planner.transition) ->
+              if tr.from_faulty = [] && tr.new_fault = 3 then
+                { tr with recovery_bound = Time.us 1 }
+              else tr)
+            v.Check.transitions;
+      })
+
+(* BTR-E401: a transition retargeted at a mode nobody planned. *)
+let e401 =
+  fires Check.Transition_target_unknown (fun v ->
+      {
+        v with
+        Check.transitions =
+          List.map
+            (fun (tr : Planner.transition) ->
+              if tr.from_faulty = [] && tr.new_fault = 3 then
+                { tr with to_faulty = [ 9 ]; new_fault = 9 }
+              else tr)
+            v.Check.transitions;
+      })
+
+(* BTR-E402: an extra plan for {4,5} that no transition reaches. *)
+let e402 =
+  fires Check.Orphan_mode (fun v ->
+      let donor =
+        List.find (fun (p : Planner.plan) -> p.faulty = [ 4 ]) v.Check.plans
+      in
+      { v with Check.plans = v.Check.plans @ [ { donor with faulty = [ 4; 5 ] } ] })
+
+(* BTR-E403: the clique's plans judged against a star — when the hub is
+   the faulty node, the survivors have no route left. *)
+let e403 =
+  fires Check.Evidence_unroutable (fun v ->
+      {
+        v with
+        Check.topology =
+          Topology.star ~n:6 ~hub:0 ~bandwidth_bps:10_000_000
+            ~latency:(Time.us 50);
+      })
+
+(* BTR-W404: 10MB evidence records dwarf the 200ms budget. *)
+let w404 =
+  fires Check.Evidence_budget_dominant (fun v ->
+      {
+        v with
+        Check.config = { v.Check.config with Planner.evidence_size = 10_000_000 };
+      })
+
+let test_scenario_rejects () =
+  (* The Scenario pipeline must surface verification failures as
+     Planner.Rejected instead of deploying. An impossible R triggers it
+     end to end. *)
+  let spec =
+    Btr.Scenario.spec
+      ~workload:(Generators.avionics ~n_nodes:6)
+      ~topology:(clique 6) ~f:1 ~recovery_bound:(Time.us 10) ()
+  in
+  match Btr.Scenario.plan spec with
+  | Error (Planner.Rejected { diagnostics }) ->
+    check_bool "diagnostics carried" true (diagnostics <> []);
+    check_bool "codes are stable ids" true
+      (List.for_all
+         (fun (code, _) -> Check.code_of_id code <> None)
+         diagnostics)
+  | Error e -> Alcotest.failf "expected Rejected, got %a" Planner.pp_error e
+  | Ok _ -> Alcotest.fail "expected rejection for R = 10us"
+
+let test_every_code_covered () =
+  (* Meta-test: the corpus above exercises every declared code. *)
+  let covered =
+    [
+      Check.Link_oversubscribed;
+      Check.Data_reserve_exceeded;
+      Check.Control_reserve_tight;
+      Check.Node_overutilized;
+      Check.Response_time_divergent;
+      Check.Schedule_invalid;
+      Check.Mode_missing;
+      Check.Transition_missing;
+      Check.Recovery_bound_exceeded;
+      Check.Recovery_bound_understated;
+      Check.Transition_target_unknown;
+      Check.Orphan_mode;
+      Check.Evidence_unroutable;
+      Check.Evidence_budget_dominant;
+    ]
+  in
+  check_bool "corpus covers all_codes" true
+    (List.for_all (fun c -> List.mem c covered) Check.all_codes
+    && List.length covered = List.length Check.all_codes)
+
+(* Every protected sink output Correct (or deliberately Shed) in every
+   finalized period — the fault-free feasibility the paper's recovery
+   promise presumes. Some deep random workloads cannot deliver their
+   outputs within a period even with no fault injected; recovery is
+   meaningless for those deployments, so the property skips them. *)
+let deployment_clean workload rt =
+  let m = Btr.Runtime.metrics rt in
+  let prot = Btr.Metrics.protected_flows m in
+  List.for_all
+    (fun (fl : Graph.flow) ->
+      (not (List.mem fl.flow_id prot))
+      || List.for_all
+           (fun p ->
+             match Btr.Metrics.status m ~orig_flow:fl.flow_id ~period:p with
+             | Some (Btr.Metrics.Correct | Btr.Metrics.Shed) | None -> true
+             | Some _ -> false)
+           (List.init 60 Fun.id))
+    (Graph.sink_flows workload)
+
+(* The tentpole property: acceptance is meaningful. If Scenario.plan
+   (which runs the verifier) accepts a random strategy whose fault-free
+   deployment delivers its outputs, then simulating a crash recovers
+   within R. *)
+let prop_accept_implies_bounded_recovery =
+  QCheck.Test.make ~name:"verifier accepts => simulated recovery <= R"
+    ~count:100
+    QCheck.(pair (int_range 1 10_000) (int_bound 3))
+    (fun (seed, node) ->
+      let workload =
+        Generators.random_layered ~rng:(Rng.create seed) ~n_nodes:4 ~layers:3
+          ~width:3 ()
+      in
+      let r = Time.ms 300 in
+      let spec ?script () =
+        Btr.Scenario.spec ~workload ~topology:(clique 4) ~f:1 ~recovery_bound:r
+          ?script ~horizon:(Time.sec 1) ~seed ()
+      in
+      match Btr.Scenario.plan (spec ()) with
+      | Error _ -> true (* not accepted: property is vacuous *)
+      | Ok _ -> (
+        match Btr.Scenario.run (spec ()) with
+        | Error _ -> false (* accepted strategies must deploy *)
+        | Ok rt0 when not (deployment_clean workload rt0) -> true
+        | Ok _ -> (
+          match
+            Btr.Scenario.run
+              (spec
+                 ~script:(Fault.single ~at:(Time.ms 110) ~node Fault.Crash)
+                 ())
+          with
+          | Error _ -> false
+          | Ok rt ->
+            List.for_all
+              (fun rec_t -> Time.compare rec_t r <= 0)
+              (Btr.Metrics.recovery_times (Btr.Runtime.metrics rt)))))
+
+let suite =
+  [
+    ("pristine avionics strategy passes", `Quick, test_pristine_passes);
+    ("report serializes to JSON", `Quick, test_json_shape);
+    ("E101 link oversubscribed", `Quick, e101);
+    ("E102 data reserve exceeded", `Quick, e102);
+    ("W103 control reserve tight", `Quick, w103);
+    ("E201 node overutilized", `Quick, e201);
+    ("W202 response time divergent", `Quick, w202);
+    ("E203 schedule invalid", `Quick, e203);
+    ("E301 mode missing", `Quick, e301);
+    ("E302 transition missing", `Quick, e302);
+    ("E303 recovery bound exceeded", `Quick, e303);
+    ("W304 recovery bound understated", `Quick, w304);
+    ("E401 transition target unknown", `Quick, e401);
+    ("E402 orphan mode", `Quick, e402);
+    ("E403 evidence unroutable", `Quick, e403);
+    ("W404 evidence budget dominant", `Quick, w404);
+    ("scenario rejects an infeasible plan", `Quick, test_scenario_rejects);
+    ("corpus covers every code", `Quick, test_every_code_covered);
+    QCheck_alcotest.to_alcotest prop_accept_implies_bounded_recovery;
+  ]

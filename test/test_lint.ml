@@ -1,0 +1,130 @@
+(* Determinism linter: the canonical hazard — an unsorted Hashtbl.iter
+   feeding a trace — must be caught; suppression comments and path
+   exemptions must be honored; benign idioms must stay quiet. *)
+
+module Lint = Btr_lint_core.Lint
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let findings ?(file = "fixture.ml") src =
+  match Lint.lint_string ~file src with
+  | Ok fs -> fs
+  | Error m -> Alcotest.failf "lint failed: %s" m
+
+let rules ?file src = List.map (fun (f : Lint.finding) -> f.rule) (findings ?file src)
+
+let test_hashtbl_iter_feeding_trace () =
+  let src =
+    "let emit_trace h out =\n\
+    \  Hashtbl.iter (fun k v -> output_string out (k ^ string_of_int v)) h\n"
+  in
+  match findings src with
+  | [ f ] ->
+    check_bool "rule" true (f.rule = Lint.Hashtbl_order);
+    check_int "line" 2 f.line;
+    check_int "col" 2 f.col
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_hashtbl_variants () =
+  check_bool "fold" true (rules "let n h = Hashtbl.fold (fun _ _ a -> a + 1) h 0" = [ Lint.Hashtbl_order ]);
+  check_bool "to_seq" true (rules "let s h = Hashtbl.to_seq h" = [ Lint.Hashtbl_order ]);
+  check_bool "stdlib-qualified" true
+    (rules "let f h g = Stdlib.Hashtbl.iter g h" = [ Lint.Hashtbl_order ]);
+  check_bool "replace is fine" true (rules "let f h = Hashtbl.replace h 1 2" = [])
+
+let test_poly_compare () =
+  check_bool "bare compare" true
+    (rules "let s l = List.sort compare l" = [ Lint.Poly_compare ]);
+  check_bool "stdlib compare" true
+    (rules "let s l = List.sort Stdlib.compare l" = [ Lint.Poly_compare ]);
+  check_bool "first-class =" true
+    (rules "let f l = List.exists (( = ) 1) l" = [ Lint.Poly_compare ]);
+  check_bool "infix = is quiet" true (rules "let f x = x = 1" = []);
+  check_bool "infix <> is quiet" true (rules "let f x = x <> 1" = []);
+  check_bool "typed compare is quiet" true
+    (rules "let s l = List.sort Int.compare l" = [])
+
+let test_wall_clock_and_random () =
+  check_bool "Sys.time" true (rules "let t () = Sys.time ()" = [ Lint.Wall_clock ]);
+  check_bool "Unix.gettimeofday" true
+    (rules "let t () = Unix.gettimeofday ()" = [ Lint.Wall_clock ]);
+  check_bool "Random.int" true (rules "let r () = Random.int 5" = [ Lint.Raw_random ]);
+  check_bool "Random.self_init" true
+    (rules "let () = Random.self_init ()" = [ Lint.Raw_random ])
+
+let test_rng_path_exempt () =
+  let src = "let seed () = Random.self_init (); int_of_float (Sys.time ())" in
+  check_bool "exempt in lib/util/rng.ml" true
+    (rules ~file:"lib/util/rng.ml" src = []);
+  check_bool "hashtbl still flagged in rng.ml" true
+    (rules ~file:"lib/util/rng.ml" "let f h g = Hashtbl.iter g h"
+    = [ Lint.Hashtbl_order ]);
+  check_bool "flagged elsewhere" true (List.length (rules src) = 2)
+
+let test_suppression_same_line () =
+  let src =
+    "let f h g = Hashtbl.iter g h (* btr-lint: allow hashtbl-order *)\n"
+  in
+  check_bool "suppressed" true (rules src = [])
+
+let test_suppression_preceding_comment () =
+  let src =
+    "(* btr-lint: allow wall-clock — self-profiling,\n\
+    \   never enters a trace *)\n\
+     let t () = Sys.time ()\n"
+  in
+  check_bool "multi-line comment covers next line" true (rules src = [])
+
+let test_suppression_wrong_rule () =
+  let src = "(* btr-lint: allow wall-clock *)\nlet f h g = Hashtbl.iter g h\n" in
+  check_bool "other rules still fire" true (rules src = [ Lint.Hashtbl_order ])
+
+let test_suppression_does_not_leak () =
+  let src =
+    "let f h g = Hashtbl.iter g h (* btr-lint: allow hashtbl-order *)\n\
+     let x = 1\n\
+     let y = 2\n\
+     let g h k = Hashtbl.iter k h\n"
+  in
+  match findings src with
+  | [ f ] -> check_int "only the distant use flagged" 4 f.line
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_directive_in_string_is_inert () =
+  let src =
+    "let s = {|(* btr-lint: allow hashtbl-order *)|}\n\
+     let f h g = Hashtbl.iter g h\n"
+  in
+  check_bool "quoted string is not a comment" true
+    (rules src = [ Lint.Hashtbl_order ])
+
+let test_parse_error_reported () =
+  match Lint.lint_string ~file:"bad.ml" "let let = in" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_rule_ids_stable () =
+  check_bool "ids" true
+    (List.map Lint.rule_id Lint.all_rules
+    = [ "BTR-L001"; "BTR-L002"; "BTR-L003"; "BTR-L004" ]);
+  check_bool "names roundtrip" true
+    (List.for_all
+       (fun r -> Lint.rule_of_name (Lint.rule_name r) = Some r)
+       Lint.all_rules)
+
+let suite =
+  [
+    ("unsorted Hashtbl.iter feeding a trace fails", `Quick, test_hashtbl_iter_feeding_trace);
+    ("all Hashtbl iteration forms flagged", `Quick, test_hashtbl_variants);
+    ("polymorphic compare flagged, typed quiet", `Quick, test_poly_compare);
+    ("wall clock and global Random flagged", `Quick, test_wall_clock_and_random);
+    ("lib/util/rng.ml is exempt from clock/random", `Quick, test_rng_path_exempt);
+    ("same-line suppression", `Quick, test_suppression_same_line);
+    ("preceding multi-line comment suppression", `Quick, test_suppression_preceding_comment);
+    ("suppression is rule-specific", `Quick, test_suppression_wrong_rule);
+    ("suppression does not leak down the file", `Quick, test_suppression_does_not_leak);
+    ("directives inside strings are inert", `Quick, test_directive_in_string_is_inert);
+    ("parse errors are reported", `Quick, test_parse_error_reported);
+    ("rule ids are stable", `Quick, test_rule_ids_stable);
+  ]

@@ -15,6 +15,8 @@ let () =
       ("detect", Test_detect.suite);
       ("planner", Test_planner.suite);
       ("modeswitch", Test_modeswitch.suite);
+      ("check", Test_check.suite);
+      ("lint", Test_lint.suite);
       ("core", Test_core.suite);
       ("runtime", Test_runtime.suite);
       ("baselines", Test_baselines.suite);

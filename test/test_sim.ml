@@ -155,7 +155,7 @@ let prop_events_fire_in_order =
       Engine.run e;
       let ts = List.rev !fired in
       List.length ts = List.length delays
-      && List.for_all2 ( = ) ts (List.sort Int.compare delays))
+      && List.for_all2 Time.equal ts (List.sort Int.compare delays))
 
 let suite =
   [

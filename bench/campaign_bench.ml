@@ -1,0 +1,90 @@
+(* Campaign throughput: trials/sec for increasing worker-domain counts,
+   with the fingerprint cross-checked so the speedup claim never hides a
+   determinism regression. Writes BENCH_campaign.json with --json. *)
+
+open Btr_util
+module Campaign = Btr_campaign.Campaign
+
+let grid =
+  {
+    Campaign.default_grid with
+    Campaign.fault_bounds = [ 1; 2 ];
+    control_shares = [ None; Some 0.02 ];
+  }
+
+let jobs_axis () =
+  let recommended = Campaign.default_jobs () in
+  List.sort_uniq Int.compare [ 1; 2; 4; recommended ]
+
+(* btr-lint: allow wall-clock — benchmark timing is inherently
+   wall-clock; simulated results stay deterministic. *)
+let now () = Unix.gettimeofday ()
+
+let run ?json_file () =
+  let trials = 40 in
+  let spec = Campaign.spec ~grid ~trials ~seed:42 ~shrink:false () in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "CB  Campaign throughput (%d trials, %d configs, recommended domains = %d)"
+           trials
+           (List.length (Campaign.grid_params grid))
+           (Domain.recommended_domain_count ()))
+      ~header:[ "jobs"; "seconds"; "trials/sec"; "speedup"; "fingerprint" ]
+  in
+  let rows =
+    List.map
+      (fun jobs ->
+        let t0 = now () in
+        let result = Campaign.run ~jobs spec in
+        let dt = now () -. t0 in
+        (jobs, dt, Campaign.fingerprint result))
+      (jobs_axis ())
+  in
+  let base =
+    match rows with
+    | (_, dt, _) :: _ -> dt
+    | [] -> 1.0
+  in
+  let fingerprints = List.sort_uniq String.compare (List.map (fun (_, _, fp) -> fp) rows) in
+  List.iter
+    (fun (jobs, dt, fp) ->
+      Table.add_row table
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.3f" dt;
+          Printf.sprintf "%.1f" (float_of_int trials /. dt);
+          Printf.sprintf "%.2fx" (base /. dt);
+          fp;
+        ])
+    rows;
+  Table.print table;
+  (match fingerprints with
+  | [ _ ] -> print_endline "fingerprints identical across worker counts: OK"
+  | _ -> print_endline "FINGERPRINT MISMATCH ACROSS WORKER COUNTS");
+  (* On a single-core host the speedup column cannot exceed 1x: the
+     domains timeshare one CPU. The determinism cross-check is the part
+     that must hold everywhere. *)
+  match json_file with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    Printf.fprintf oc
+      "{\"bench\":\"campaign\",\"trials\":%d,\"configs\":%d,\"cores\":%d,\"fingerprints_identical\":%b}\n"
+      trials
+      (List.length (Campaign.grid_params grid))
+      (Domain.recommended_domain_count ())
+      (match fingerprints with [ _ ] -> true | _ -> false);
+    List.iter
+      (fun (jobs, dt, fp) ->
+        Printf.fprintf oc
+          "{\"jobs\":%d,\"millis\":%d,\"trials_per_sec_x10\":%d,\"speedup_x100\":%d,\"fingerprint\":\"%s\"}\n"
+          jobs
+          (int_of_float ((dt *. 1000.0) +. 0.5))
+          (int_of_float ((float_of_int trials /. dt *. 10.0) +. 0.5))
+          (int_of_float ((base /. dt *. 100.0) +. 0.5))
+          fp)
+      rows;
+    close_out oc;
+    Printf.printf "wrote %s\n" file

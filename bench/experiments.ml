@@ -30,6 +30,20 @@ let run_exn s =
   | Ok rt -> rt
   | Error e -> Format.kasprintf failwith "plan failed: %a" Planner.pp_error e
 
+(* Deploy without the Btr_check gate. Experiments that deliberately
+   under-provision a resource (E8) measure what happens when a
+   configuration the static verifier would reject runs anyway — the
+   empirical counterpart of the verifier's prediction. *)
+let run_unchecked ?(n = 6) ?(f = 1) ?(script = []) ?(horizon = Time.sec 1)
+    ?(tune = Fun.id) () =
+  let cfg = tune (Planner.default_config ~f ~recovery_bound:r_default) in
+  match Planner.build cfg (Generators.avionics ~n_nodes:n) (clique n) with
+  | Error e -> Format.kasprintf failwith "plan failed: %a" Planner.pp_error e
+  | Ok strategy ->
+    let rt = Btr.Runtime.create ~script ~strategy () in
+    Btr.Runtime.run rt ~horizon;
+    rt
+
 let pct x = Table.cell_pct (100.0 *. x)
 
 (* When did the last correct node adopt a mode covering the injected
@@ -576,8 +590,10 @@ let e8 () =
     let tune c =
       { c with Planner.shares = Some { Net.data_frac = 0.35; control_frac = share } }
     in
-    (* f = 2: the babbler is itself a fault, and both must fit the budget. *)
-    let rt = run_exn (spec ~f:2 ~script ~tune ()) in
+    (* f = 2: the babbler is itself a fault, and both must fit the
+       budget. Starved control shares are exactly what BTR-E303 rejects,
+       so deploy past the gate to measure the failure it predicts. *)
+    let rt = run_unchecked ~f:2 ~script ~tune () in
     let conv = convergence_latency rt ~node:3 ~at:(Time.ms 250) in
     let recovery =
       match Btr.Metrics.recovery_times (Btr.Runtime.metrics rt) with
@@ -679,6 +695,69 @@ let e10 () =
     [ (0.0, 1); (0.003, 1); (0.003, 3); (0.01, 3); (0.01, 5) ];
   Table.print table
 
+(* ------------------------------------------------------------------ *)
+(* E11: randomized fault-injection campaign — what the empirical
+   adversary finds beyond the static verifier's verdicts.              *)
+
+let e11 () =
+  let module Campaign = Btr_campaign.Campaign in
+  let grid =
+    {
+      Campaign.default_grid with
+      Campaign.fault_bounds = [ 1; 2 ];
+      control_shares = [ None; Some 0.005 ];
+    }
+  in
+  let spec = Campaign.spec ~grid ~trials:60 ~seed:7 ~shrink_budget:120 () in
+  let result = Campaign.run ~jobs:1 spec in
+  let table =
+    Table.create
+      ~title:"E11 Campaign verdicts by configuration (60 trials, seed 7)"
+      ~header:[ "config"; "trials"; "rejected"; "violations"; "worst recovery" ]
+  in
+  List.iter
+    (fun (p : Campaign.params) ->
+      let vs =
+        List.filter
+          (fun (v : Campaign.verdict) ->
+            Campaign.plan_key ~seed:spec.Campaign.seed v.Campaign.trial.Campaign.params
+            = Campaign.plan_key ~seed:spec.Campaign.seed p)
+          result.Campaign.verdicts
+      in
+      let count pred = List.length (List.filter pred vs) in
+      let worst =
+        List.fold_left
+          (fun acc (v : Campaign.verdict) ->
+            match v.Campaign.outcome with
+            | Campaign.Pass st | Campaign.Violation st ->
+              Time.max acc st.Campaign.worst_recovery
+            | _ -> acc)
+          Time.zero vs
+      in
+      Table.add_row table
+        [
+          Format.asprintf "%a" Campaign.pp_params p;
+          string_of_int (List.length vs);
+          string_of_int
+            (count (fun v ->
+                 match v.Campaign.outcome with Campaign.Rejected _ -> true | _ -> false));
+          string_of_int (count (fun v -> Campaign.violates v.Campaign.outcome));
+          Time.to_string worst;
+        ])
+    (Campaign.grid_params grid);
+  Table.print table;
+  List.iter
+    (fun (s : Campaign.shrunk_violation) ->
+      Printf.printf
+        "violation (trial %d): %s -> %s (%d -> %d events, %d shrink runs)\n"
+        s.Campaign.source.Campaign.index
+        (Campaign.script_to_string s.Campaign.source.Campaign.script)
+        (Campaign.script_to_string s.Campaign.script)
+        (List.length s.Campaign.source.Campaign.script)
+        (List.length s.Campaign.script)
+        s.Campaign.shrink_runs)
+    result.Campaign.violations
+
 let all = [ ("e1", e1); ("e1b", e1b); ("e2", e2); ("e3", e3); ("e4", e4);
             ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9);
-            ("e10", e10) ]
+            ("e10", e10); ("e11", e11) ]

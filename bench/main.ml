@@ -1,4 +1,4 @@
-(* Benchmark harness: regenerates every experiment table (E1-E9, see
+(* Benchmark harness: regenerates every experiment table (E1-E11, see
    DESIGN.md section 3 and EXPERIMENTS.md) and, with --micro, runs the
    Bechamel microbenchmarks.
 
@@ -6,6 +6,8 @@
      dune exec bench/main.exe            # all experiments
      dune exec bench/main.exe e2 e3      # selected experiments
      dune exec bench/main.exe -- --micro # microbenchmarks only
+     dune exec bench/main.exe -- --campaign        # campaign throughput
+     dune exec bench/main.exe -- --campaign --json # + BENCH_campaign.json
      dune exec bench/main.exe -- --trace t.jsonl --metrics m.json
        # trace the demo deployment instead of running experiments  *)
 
@@ -35,12 +37,20 @@ let trace_demo ~trace ~metrics =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro = ref false in
+  let campaign = ref false in
+  let json = ref false in
   let trace = ref None in
   let metrics = ref None in
   let rec collect acc = function
     | [] -> List.rev acc
     | "--micro" :: rest ->
       micro := true;
+      collect acc rest
+    | "--campaign" :: rest ->
+      campaign := true;
+      collect acc rest
+    | "--json" :: rest ->
+      json := true;
       collect acc rest
     | "--trace" :: file :: rest ->
       trace := Some file;
@@ -55,12 +65,16 @@ let () =
     print_endline "== microbenchmarks ==";
     Micro.run ()
   end;
+  if !campaign then
+    Campaign_bench.run
+      ?json_file:(if !json then Some "BENCH_campaign.json" else None)
+      ();
   if !trace <> None || !metrics <> None then
     trace_demo ~trace:!trace ~metrics:!metrics
   else begin
     let selected =
       match wanted with
-      | [] -> if !micro then [] else Experiments.all
+      | [] -> if !micro || !campaign then [] else Experiments.all
       | names ->
         List.filter_map
           (fun n ->

@@ -265,6 +265,371 @@ let workloads_cmd =
   in
   Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ nodes_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* campaign run | replay | report                                      *)
+
+module Campaign = Btr_campaign.Campaign
+
+let criticality_of_name = function
+  | "best-effort" -> Ok Task.Best_effort
+  | "low" -> Ok Task.Low
+  | "medium" -> Ok Task.Medium
+  | "high" -> Ok Task.High
+  | "safety-critical" -> Ok Task.Safety_critical
+  | other -> Error (Printf.sprintf "unknown protect level %S" other)
+
+let share_of_name = function
+  | "default" -> Ok None
+  | s -> (
+    match float_of_string_opt s with
+    | Some c -> Ok (Some c)
+    | None -> Error (Printf.sprintf "bad control share %S (want a float or 'default')" s))
+
+(* Campaign CLI errors are usage errors: exit 2, like cmdliner's own. *)
+let usage_error m =
+  Printf.eprintf "btr campaign: %s\n" m;
+  2
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs -> (
+    match f x with
+    | Error _ as e -> e
+    | Ok y -> ( match map_result f xs with Error _ as e -> e | Ok ys -> Ok (y :: ys)))
+
+let grid_of workloads topologies node_counts fault_bounds r_ms bandwidths protects
+    shares =
+  match map_result criticality_of_name protects with
+  | Error m -> Error m
+  | Ok protect_levels -> (
+    match map_result share_of_name shares with
+    | Error m -> Error m
+    | Ok control_shares -> (
+      let g =
+        {
+          Campaign.workloads;
+          topologies;
+          node_counts;
+          fault_bounds;
+          recovery_bounds = List.map Time.ms r_ms;
+          bandwidths;
+          protect_levels;
+          control_shares;
+        }
+      in
+      match Campaign.validate_grid g with Error m -> Error m | Ok () -> Ok g))
+
+let write_lines file lines =
+  let oc = open_out file in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+(* Grid axes: each option takes a comma-separated list and the campaign
+   crosses them. *)
+let list_opt ~names ~default ~docv ~doc cv =
+  Arg.(value & opt (list cv) default & info names ~docv ~doc)
+
+let campaign_run_cmd =
+  let doc = "Run a randomized fault-injection campaign over a parameter grid." in
+  let run workloads topologies node_counts fault_bounds r_ms bandwidths protects
+      shares trials seed jobs json_file no_shrink shrink_budget trace metrics =
+    match grid_of workloads topologies node_counts fault_bounds r_ms bandwidths
+            protects shares
+    with
+    | Error m -> usage_error m
+    | Ok grid ->
+      if trials <= 0 then usage_error "trials must be positive"
+      else if jobs < 0 then usage_error "jobs must be >= 1"
+      else
+        with_obs ~trace ~metrics (fun obs ->
+            let spec =
+              Campaign.spec ~grid ~trials ~seed ~shrink:(not no_shrink)
+                ~shrink_budget ()
+            in
+            let jobs = if jobs = 0 then Campaign.default_jobs () else jobs in
+            let result = Campaign.run ?obs ~jobs spec in
+            let lines = Campaign.result_json_lines result in
+            (match json_file with
+            | Some "-" -> List.iter print_endline lines
+            | Some file -> write_lines file lines
+            | None -> ());
+            (match Campaign.render_report lines with
+            | Ok report -> print_string report
+            | Error m -> Printf.eprintf "internal report error: %s\n" m);
+            if result.Campaign.violations <> [] then begin
+              List.iter
+                (fun (s : Campaign.shrunk_violation) ->
+                  Printf.printf "\nreproducer (trial %d):\n%s"
+                    s.Campaign.source.Campaign.index s.Campaign.snippet)
+                result.Campaign.violations;
+              3
+            end
+            else 0)
+  in
+  let workloads =
+    list_opt ~names:[ "workload"; "w" ] ~default:[ "avionics" ] ~docv:"LIST"
+      ~doc:"Workloads to cross: avionics, scada, random." Arg.string
+  in
+  let topologies =
+    list_opt ~names:[ "topology"; "t" ] ~default:[ "clique" ] ~docv:"LIST"
+      ~doc:"Topologies to cross: clique, ring, dual-bus." Arg.string
+  in
+  let node_counts =
+    list_opt ~names:[ "nodes"; "n" ] ~default:[ 6 ] ~docv:"LIST"
+      ~doc:"Node counts to cross." Arg.int
+  in
+  let fault_bounds =
+    list_opt ~names:[ "f" ] ~default:[ 1 ] ~docv:"LIST" ~doc:"Fault bounds to cross."
+      Arg.int
+  in
+  let r_ms =
+    list_opt ~names:[ "r" ] ~default:[ 200 ] ~docv:"LIST"
+      ~doc:"Recovery bounds R in ms to cross." Arg.int
+  in
+  let bandwidths =
+    list_opt ~names:[ "bandwidth" ] ~default:[ 10_000_000 ] ~docv:"LIST"
+      ~doc:"Link bandwidths in bits/s to cross." Arg.int
+  in
+  let protects =
+    list_opt ~names:[ "protect" ] ~default:[ "medium" ] ~docv:"LIST"
+      ~doc:"Protect levels to cross: best-effort, low, medium, high, safety-critical."
+      Arg.string
+  in
+  let shares =
+    list_opt ~names:[ "control-share" ] ~default:[ "default" ] ~docv:"LIST"
+      ~doc:"Control bandwidth shares to cross: floats in (0, 0.6], or 'default'."
+      Arg.string
+  in
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Number of trials to run.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains (0 = one less than the recommended domain count). \
+             Verdicts are identical for every value.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the JSONL artifact to $(docv) ('-' for stdout).")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report violations unminimized.")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 150
+      & info [ "shrink-budget" ] ~doc:"Max shrink replays per violation.")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ workloads $ topologies $ node_counts $ fault_bounds $ r_ms
+      $ bandwidths $ protects $ shares $ trials $ seed_arg $ jobs $ json_file
+      $ no_shrink $ shrink_budget $ trace_arg $ metrics_arg)
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* Rebuild a trial from its artifact verdict line. *)
+let trial_from_artifact file index =
+  let open Campaign.Flat_json in
+  let int_of fields k = match List.assoc_opt k fields with Some (Int i) -> Some i | _ -> None in
+  let str_of fields k = match List.assoc_opt k fields with Some (Str s) -> Some s | _ -> None in
+  let lines = List.filter (fun l -> String.trim l <> "") (read_lines file) in
+  let rec find = function
+    | [] -> Error (Printf.sprintf "no trial %d in %s" index file)
+    | line :: rest -> (
+      match parse line with
+      | Error m -> Error (Printf.sprintf "%s: %s" file m)
+      | Ok fields ->
+        if int_of fields "trial" <> Some index then find rest
+        else
+          let req name v =
+            match v with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "trial %d line lacks %S" index name)
+          in
+          let ( let* ) r k = Result.bind r k in
+          let* workload = req "workload" (str_of fields "workload") in
+          let* topology = req "topology" (str_of fields "topology") in
+          let* nodes = req "nodes" (int_of fields "nodes") in
+          let* f = req "f" (int_of fields "f") in
+          let* r = req "r_us" (int_of fields "r_us") in
+          let* bandwidth_bps = req "bandwidth_bps" (int_of fields "bandwidth_bps") in
+          let* protect_s = req "protect" (str_of fields "protect") in
+          let* protect = criticality_of_name protect_s in
+          let* share_s = req "control_share" (str_of fields "control_share") in
+          let* control_share = share_of_name share_s in
+          let* runtime_seed = req "seed" (int_of fields "seed") in
+          let* script_s = req "script" (str_of fields "script") in
+          let* script = Campaign.script_of_string script_s in
+          Ok
+            ( {
+                Campaign.workload;
+                topology;
+                nodes;
+                f;
+                r;
+                bandwidth_bps;
+                protect;
+                control_share;
+              },
+              runtime_seed,
+              script ))
+  in
+  find lines
+
+let print_outcome params runtime_seed script (outcome : Campaign.outcome) =
+  Format.printf "%a seed=%d@.script: %s@." Campaign.pp_params params runtime_seed
+    (Campaign.script_to_string script);
+  match outcome with
+  | Campaign.Rejected m ->
+    Printf.printf "verdict: rejected (%s)\n" m;
+    1
+  | Campaign.Errored m ->
+    Printf.printf "verdict: error (%s)\n" m;
+    1
+  | Campaign.Pass st ->
+    Printf.printf "verdict: pass (worst recovery %s <= R %s)\n"
+      (Time.to_string st.Campaign.worst_recovery)
+      (Time.to_string params.Campaign.r);
+    0
+  | Campaign.Violation st ->
+    Printf.printf "verdict: VIOLATION (worst recovery %s > R %s)\n"
+      (Time.to_string st.Campaign.worst_recovery)
+      (Time.to_string params.Campaign.r);
+    3
+
+let campaign_replay_cmd =
+  let doc =
+    "Replay one trial deterministically — from an artifact ($(b,--from) + \
+     $(b,--trial)) or from an explicit $(b,--script)."
+  in
+  let run from trial_idx script_s workload topology nodes f r_ms protect_s share_s
+      campaign_seed runtime_seed =
+    let replay (params : Campaign.params) runtime_seed script =
+      let cache = Campaign.Cache.create ~seed:campaign_seed in
+      print_outcome params runtime_seed script
+        (Campaign.run_script ~cache params ~runtime_seed script)
+    in
+    match from, script_s with
+    | Some _, Some _ -> usage_error "--from and --script are mutually exclusive"
+    | Some file, None -> (
+      match trial_idx with
+      | None -> usage_error "--from needs --trial N"
+      | Some idx -> (
+        match trial_from_artifact file idx with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+        | Ok (params, runtime_seed, script) -> replay params runtime_seed script))
+    | None, Some s -> (
+      match
+        ( Campaign.script_of_string s,
+          criticality_of_name protect_s,
+          share_of_name share_s )
+      with
+      | Error m, _, _ | _, Error m, _ | _, _, Error m -> usage_error m
+      | Ok script, Ok protect, Ok control_share ->
+        replay
+          {
+            Campaign.workload;
+            topology;
+            nodes;
+            f;
+            r = Time.ms r_ms;
+            bandwidth_bps = 10_000_000;
+            protect;
+            control_share;
+          }
+          runtime_seed script)
+    | None, None -> usage_error "need --script, or --from FILE --trial N"
+  in
+  let from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE" ~doc:"Campaign JSONL artifact to replay from.")
+  in
+  let trial_idx =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trial" ] ~docv:"N" ~doc:"Trial index within $(b,--from).")
+  in
+  let script_s =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"SCRIPT"
+          ~doc:
+            "Fault schedule as class[.param]\\@node\\@at_us joined with ';', e.g. \
+             'corrupt\\@3\\@250000;babble.8\\@5\\@0'.")
+  in
+  let protect =
+    Arg.(value & opt string "medium" & info [ "protect" ] ~doc:"Protect level.")
+  in
+  let share =
+    Arg.(
+      value & opt string "default"
+      & info [ "control-share" ] ~doc:"Control bandwidth share, or 'default'.")
+  in
+  let campaign_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "campaign-seed" ]
+          ~doc:"Campaign seed (fixes the random workload stream).")
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ from $ trial_idx $ script_s $ workload_arg $ topology_arg
+      $ nodes_arg $ f_arg $ r_arg $ protect $ share $ campaign_seed $ seed_arg)
+
+let campaign_report_cmd =
+  let doc = "Render the aggregate report from a campaign JSONL artifact." in
+  let run file =
+    match Campaign.render_report (read_lines file) with
+    | Ok report ->
+      print_string report;
+      0
+    | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+    | exception Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  in
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE" ~doc:"Campaign JSONL artifact.")
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
+
+let campaign_cmd =
+  let doc = "Fault-injection campaigns: randomized search for Definition 3.1 violations." in
+  Cmd.group
+    (Cmd.info "campaign" ~doc)
+    [ campaign_run_cmd; campaign_replay_cmd; campaign_report_cmd ]
+
 (* With no subcommand, run the demo deployment: handy for producing a
    full trace (`btr --trace t.jsonl`) without memorizing options. *)
 let demo_term =
@@ -288,4 +653,4 @@ let () =
   exit
     (Cmd.eval' ~term_err:2
        (Cmd.group ~default:demo_term info
-          [ plan_cmd; check_cmd; run_cmd; workloads_cmd ]))
+          [ plan_cmd; check_cmd; run_cmd; campaign_cmd; workloads_cmd ]))

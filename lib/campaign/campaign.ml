@@ -1,0 +1,1108 @@
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Generators = Btr_workload.Generators
+module Topology = Btr_net.Topology
+module Net = Btr_net.Net
+module Planner = Btr_planner.Planner
+module Fault = Btr_fault.Fault
+module Obs = Btr_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Parameters and grids                                                *)
+
+type params = {
+  workload : string;
+  topology : string;
+  nodes : int;
+  f : int;
+  r : Time.t;
+  bandwidth_bps : int;
+  protect : Task.criticality;
+  control_share : float option;
+}
+
+let default_params =
+  {
+    workload = "avionics";
+    topology = "clique";
+    nodes = 6;
+    f = 1;
+    r = Time.ms 200;
+    bandwidth_bps = 10_000_000;
+    protect = Task.Medium;
+    control_share = None;
+  }
+
+let share_str = function
+  | None -> "default"
+  | Some c -> Printf.sprintf "%.6f" c
+
+let pp_params ppf p =
+  Format.fprintf ppf "%s/%s n=%d f=%d R=%a bw=%d protect=%a share=%s"
+    p.workload p.topology p.nodes p.f Time.pp p.r p.bandwidth_bps
+    Task.pp_criticality p.protect (share_str p.control_share)
+
+type grid = {
+  workloads : string list;
+  topologies : string list;
+  node_counts : int list;
+  fault_bounds : int list;
+  recovery_bounds : Time.t list;
+  bandwidths : int list;
+  protect_levels : Task.criticality list;
+  control_shares : float option list;
+}
+
+let default_grid =
+  {
+    workloads = [ default_params.workload ];
+    topologies = [ default_params.topology ];
+    node_counts = [ default_params.nodes ];
+    fault_bounds = [ default_params.f ];
+    recovery_bounds = [ default_params.r ];
+    bandwidths = [ default_params.bandwidth_bps ];
+    protect_levels = [ default_params.protect ];
+    control_shares = [ default_params.control_share ];
+  }
+
+let grid_params g =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun topology ->
+          List.concat_map
+            (fun nodes ->
+              List.concat_map
+                (fun f ->
+                  List.concat_map
+                    (fun r ->
+                      List.concat_map
+                        (fun bandwidth_bps ->
+                          List.concat_map
+                            (fun protect ->
+                              List.map
+                                (fun control_share ->
+                                  {
+                                    workload;
+                                    topology;
+                                    nodes;
+                                    f;
+                                    r;
+                                    bandwidth_bps;
+                                    protect;
+                                    control_share;
+                                  })
+                                g.control_shares)
+                            g.protect_levels)
+                        g.bandwidths)
+                    g.recovery_bounds)
+                g.fault_bounds)
+            g.node_counts)
+        g.topologies)
+    g.workloads
+
+let known_workloads = [ "avionics"; "scada"; "random" ]
+let known_topologies = [ "clique"; "ring"; "dual-bus" ]
+
+let validate_grid g =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let nonempty name l = if l = [] then err "empty %s axis" name else Ok () in
+  let ( let* ) r k = match r with Error _ as e -> e | Ok () -> k () in
+  let* () = nonempty "workload" g.workloads in
+  let* () = nonempty "topology" g.topologies in
+  let* () = nonempty "nodes" g.node_counts in
+  let* () = nonempty "f" g.fault_bounds in
+  let* () = nonempty "R" g.recovery_bounds in
+  let* () = nonempty "bandwidth" g.bandwidths in
+  let* () = nonempty "protect" g.protect_levels in
+  let* () = nonempty "control-share" g.control_shares in
+  match List.find_opt (fun w -> not (List.mem w known_workloads)) g.workloads with
+  | Some w -> err "unknown workload %S" w
+  | None -> (
+    match
+      List.find_opt (fun t -> not (List.mem t known_topologies)) g.topologies
+    with
+    | Some t -> err "unknown topology %S" t
+    | None ->
+      if List.exists (fun n -> n < 2) g.node_counts then err "nodes < 2"
+      else if List.exists (fun f -> f < 0) g.fault_bounds then err "f < 0"
+      else if List.exists (fun r -> r <= Time.zero) g.recovery_bounds then
+        err "R <= 0"
+      else if List.exists (fun b -> b <= 0) g.bandwidths then err "bandwidth <= 0"
+      else if
+        List.exists
+          (fun s -> match s with Some c -> c <= 0.0 || c > 0.6 | None -> false)
+          g.control_shares
+      then err "control share outside (0, 0.6]"
+      else Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Specs and trials                                                    *)
+
+type spec = {
+  grid : grid;
+  trials : int;
+  seed : int;
+  shrink : bool;
+  shrink_budget : int;
+}
+
+let spec ?(grid = default_grid) ?(trials = 100) ?(seed = 1) ?(shrink = true)
+    ?(shrink_budget = 150) () =
+  { grid; trials; seed; shrink; shrink_budget }
+
+type trial = {
+  index : int;
+  runtime_seed : int;
+  params : params;
+  script : Fault.script;
+  horizon : Time.t;
+}
+
+(* Workload generators are deterministic in (campaign seed, params), so
+   every trial of a configuration sees the same graph — a requirement
+   for the plan cache to be sound. *)
+let workload_seed seed = (seed * 7919) + 17
+
+let workload_of ~seed p =
+  match p.workload with
+  | "avionics" -> Ok (Generators.avionics ~n_nodes:p.nodes)
+  | "scada" -> Ok (Generators.scada ~n_nodes:p.nodes)
+  | "random" ->
+    Ok
+      (Generators.random_layered
+         ~rng:(Rng.create (workload_seed seed))
+         ~n_nodes:p.nodes ~layers:3 ~width:3 ())
+  | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+let topology_of p =
+  let latency = Time.us 50 in
+  match p.topology with
+  | "clique" ->
+    Ok (Topology.fully_connected ~n:p.nodes ~bandwidth_bps:p.bandwidth_bps ~latency)
+  | "ring" -> Ok (Topology.ring ~n:p.nodes ~bandwidth_bps:p.bandwidth_bps ~latency)
+  | "dual-bus" ->
+    Ok (Topology.dual_bus ~n:p.nodes ~bandwidth_bps:p.bandwidth_bps ~latency)
+  | other -> Error (Printf.sprintf "unknown topology %S" other)
+
+let tune_of p c =
+  let c = { c with Planner.protect_level = p.protect } in
+  match p.control_share with
+  | None -> c
+  | Some control_frac ->
+    { c with Planner.shares = Some { Net.data_frac = 0.35; control_frac } }
+
+let resolved_config p = tune_of p (Planner.default_config ~f:p.f ~recovery_bound:p.r)
+
+(* The campaign plan-cache key: workload/topology identity plus the
+   total serialization of the resolved planner config. Never physical
+   equality — specs embed closures. *)
+let plan_key ~seed p =
+  Printf.sprintf "%s|%s|n=%d|bw=%d|ws=%d|%s" p.workload p.topology p.nodes
+    p.bandwidth_bps (workload_seed seed)
+    (Planner.config_key (resolved_config p))
+
+let period_of ~seed p =
+  match workload_of ~seed p with
+  | Ok g -> Graph.period g
+  | Error _ -> Time.ms 20
+
+(* --- fault-schedule generation ------------------------------------- *)
+
+(* [List.init]'s evaluation order is not a guarantee we want to lean on
+   for RNG draws; build effectful lists with an explicit loop. *)
+let draw_list n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+let gen_behavior rng ~nodes ~node ~period =
+  match Rng.int rng 8 with
+  | 0 -> Fault.Crash
+  | 1 -> Fault.Omit_outputs
+  | 2 ->
+    let others = List.filter (fun x -> x <> node) (List.init nodes Fun.id) in
+    if others = [] then Fault.Omit_outputs
+    else
+      let m = 1 + Rng.int rng (Stdlib.max 1 (List.length others / 2)) in
+      Fault.Omit_to (List.sort Int.compare (Rng.sample rng m others))
+  | 3 -> Fault.Delay_outputs (Time.us (Rng.int_in rng 500 (2 * period)))
+  | 4 | 5 -> Fault.Corrupt_outputs
+  | 6 -> Fault.Equivocate
+  | _ -> Fault.Babble { bogus_per_period = Rng.int_in rng 2 8 }
+
+let gen_script rng ~nodes ~f ~r ~period =
+  if f <= 0 then []
+  else begin
+    let k = 1 + Rng.int rng f in
+    let victims = Rng.sample rng k (List.init nodes Fun.id) in
+    let start = Time.add (Time.mul period 2) (Time.us (Rng.int rng period)) in
+    let events =
+      if Rng.int rng 10 < 3 then begin
+        (* The §3 adversary: a fresh fault roughly every R. *)
+        let behavior = gen_behavior rng ~nodes ~node:(-1) ~period in
+        let gap =
+          Time.max period (Time.add r (Time.sub (Time.us (Rng.int rng period)) (Time.div period 2)))
+        in
+        Fault.sequential_attack ~nodes:victims ~start ~gap behavior
+      end
+      else
+        List.concat_map
+          (fun node ->
+            let n_events = if Rng.int rng 4 = 0 then 2 else 1 in
+            draw_list n_events (fun _ ->
+                {
+                  Fault.at = Time.add start (Time.us (Rng.int rng (Time.mul period 16)));
+                  node;
+                  behavior = gen_behavior rng ~nodes ~node ~period;
+                }))
+          victims
+    in
+    List.sort Shrink.compare_event events
+  end
+
+let horizon_for ~period ~r script =
+  let last =
+    List.fold_left (fun a (e : Fault.event) -> Time.max a e.Fault.at) Time.zero script
+  in
+  let raw = Time.add last (Time.add r (Time.mul period 8)) in
+  Time.mul period ((raw + period - 1) / period)
+
+(* Trial [i]'s stream is derived from (campaign seed, i) alone, so any
+   trial can be re-generated in isolation and results cannot depend on
+   which worker ran what. *)
+let trial_rng ~seed i = Rng.create (seed lxor ((i + 1) * 0x2545F4914F6CDD1D))
+
+let make_trial ~seed ~configs i =
+  let n_cfg = Array.length configs in
+  let params, period = configs.(i mod n_cfg) in
+  let rng = trial_rng ~seed i in
+  let script = gen_script rng ~nodes:params.nodes ~f:params.f ~r:params.r ~period in
+  let runtime_seed = Rng.int rng 0x3FFFFFFF in
+  {
+    index = i;
+    runtime_seed;
+    params;
+    script;
+    horizon = horizon_for ~period ~r:params.r script;
+  }
+
+let config_array spec =
+  Array.of_list
+    (List.map (fun p -> (p, period_of ~seed:spec.seed p)) (grid_params spec.grid))
+
+let compile spec =
+  let configs = config_array spec in
+  if Array.length configs = 0 then []
+  else draw_list spec.trials (make_trial ~seed:spec.seed ~configs)
+
+let trial_of_index spec i =
+  let configs = config_array spec in
+  if i < 0 || i >= spec.trials || Array.length configs = 0 then None
+  else Some (make_trial ~seed:spec.seed ~configs i)
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+
+type run_stats = {
+  worst_recovery : Time.t;
+  recoveries : Time.t list;
+  incorrect : Time.t;
+  deadline_miss_bp : int;
+  correct_bp : int;
+  bytes_sent : int;
+  control_bytes : int;
+  sim_events : int;
+  mode_changes : int;
+  periods : int;
+}
+
+type outcome =
+  | Pass of run_stats
+  | Violation of run_stats
+  | Rejected of string
+  | Errored of string
+
+let outcome_name = function
+  | Pass _ -> "pass"
+  | Violation _ -> "violation"
+  | Rejected _ -> "rejected"
+  | Errored _ -> "error"
+
+let violates = function Violation _ -> true | _ -> false
+
+type verdict = { trial : trial; outcome : outcome }
+
+type shrunk_violation = {
+  source : trial;
+  script : Fault.script;
+  stats : run_stats;
+  shrink_runs : int;
+  snippet : string;
+}
+
+type result = {
+  spec : spec;
+  configs : int;
+  jobs : int;
+  verdicts : verdict list;
+  violations : shrunk_violation list;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+module Cache = struct
+  type t = {
+    seed : int;
+    mutable entries : (string * (Planner.t, string) Stdlib.result) list;
+    mutable hits : int;
+    mutable misses : int;
+    lock : Mutex.t;
+  }
+
+  let create ~seed = { seed; entries = []; hits = 0; misses = 0; lock = Mutex.create () }
+
+  let build ~seed p =
+    match workload_of ~seed p with
+    | Error m -> Error m
+    | Ok workload -> (
+      match topology_of p with
+      | Error m -> Error m
+      | Ok topology -> (
+        let s =
+          Btr.Scenario.spec ~workload ~topology ~f:p.f ~recovery_bound:p.r
+            ~tune:(tune_of p) ()
+        in
+        (* Scenario.plan includes the Btr_check static gate: a strategy
+           the verifier rejects is cached as an error, exactly once. *)
+        match Btr.Scenario.plan s with
+        | Ok strategy -> Ok strategy
+        | Error e -> Error (Format.asprintf "%a" Planner.pp_error e)))
+
+  (* Planning happens while holding the lock: the planner is fast
+     (<100ms for every grid point we generate) and building a config
+     twice would waste more than the serialization costs. *)
+  let strategy t p =
+    let key = plan_key ~seed:t.seed p in
+    Mutex.lock t.lock;
+    match List.assoc_opt key t.entries with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      v
+    | None -> (
+      match build ~seed:t.seed p with
+      | v ->
+        t.entries <- (key, v) :: t.entries;
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.lock;
+        v
+      | exception e ->
+        Mutex.unlock t.lock;
+        raise e)
+
+  let hits t = t.hits
+  let misses t = t.misses
+end
+
+let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let bp f = int_of_float ((f *. 10_000.0) +. 0.5)
+
+let stats_of rt =
+  let m = Btr.Runtime.metrics rt in
+  let recoveries = Btr.Metrics.recovery_times m in
+  let ns = Btr.Runtime.net_stats rt in
+  {
+    worst_recovery = List.fold_left Time.max Time.zero recoveries;
+    recoveries;
+    incorrect = Btr.Metrics.incorrect_time m;
+    deadline_miss_bp = bp (Btr.Metrics.deadline_miss_fraction m);
+    correct_bp = bp (Btr.Metrics.correct_fraction m);
+    bytes_sent = ns.Net.bytes_sent;
+    control_bytes = ns.Net.control_bytes_sent;
+    sim_events = Btr_sim.Engine.events_processed (Btr.Runtime.engine rt);
+    mode_changes = List.length (Btr.Runtime.mode_changes rt);
+    periods = Btr.Metrics.periods_finalized m;
+  }
+
+let run_script ~cache p ~runtime_seed script =
+  match Cache.strategy cache p with
+  | Error m -> Rejected m
+  | Ok strategy -> (
+    try
+      let period = Graph.period (Planner.workload strategy) in
+      let horizon = horizon_for ~period ~r:p.r script in
+      let config = { Btr.Runtime.default_config with Btr.Runtime.seed = runtime_seed } in
+      let rt = Btr.Runtime.create ~config ~script ~strategy () in
+      Btr.Runtime.run rt ~horizon;
+      let st = stats_of rt in
+      if List.exists (fun rec_t -> Time.compare rec_t p.r > 0) st.recoveries then
+        Violation st
+      else Pass st
+    with e -> Errored (Printexc.to_string e))
+
+(* --- reproducer snippets ------------------------------------------- *)
+
+let workload_expr ~wl_seed p =
+  match p.workload with
+  | "scada" -> Printf.sprintf "Btr_workload.Generators.scada ~n_nodes:%d" p.nodes
+  | "random" ->
+    Printf.sprintf
+      "Btr_workload.Generators.random_layered ~rng:(Rng.create %d) ~n_nodes:%d \
+       ~layers:3 ~width:3 ()"
+      wl_seed p.nodes
+  | _ -> Printf.sprintf "Btr_workload.Generators.avionics ~n_nodes:%d" p.nodes
+
+let topology_expr p =
+  let gen =
+    match p.topology with
+    | "ring" -> "ring"
+    | "dual-bus" -> "dual_bus"
+    | _ -> "fully_connected"
+  in
+  Printf.sprintf "Btr_net.Topology.%s ~n:%d ~bandwidth_bps:%d ~latency:(Time.us 50)"
+    gen p.nodes p.bandwidth_bps
+
+let criticality_expr (c : Task.criticality) =
+  "Btr_workload.Task."
+  ^
+  match c with
+  | Task.Best_effort -> "Best_effort"
+  | Task.Low -> "Low"
+  | Task.Medium -> "Medium"
+  | Task.High -> "High"
+  | Task.Safety_critical -> "Safety_critical"
+
+let tune_expr p =
+  let fields =
+    (if p.protect = Task.Medium then []
+     else
+       [ Printf.sprintf "Btr_planner.Planner.protect_level = %s" (criticality_expr p.protect) ])
+    @
+    match p.control_share with
+    | None -> []
+    | Some c ->
+      [
+        Printf.sprintf
+          "%sshares = Some { Btr_net.Net.data_frac = 0.35; control_frac = %.6f }"
+          (if p.protect = Task.Medium then "Btr_planner.Planner." else "")
+          c;
+      ]
+  in
+  match fields with
+  | [] -> ""
+  | fs -> Printf.sprintf "\n      ~tune:(fun c -> { c with %s })" (String.concat "; " fs)
+
+let behavior_expr (b : Fault.behavior) =
+  match b with
+  | Fault.Crash -> "Fault.Crash"
+  | Fault.Omit_outputs -> "Fault.Omit_outputs"
+  | Fault.Omit_to l ->
+    Printf.sprintf "Fault.Omit_to [ %s ]" (String.concat "; " (List.map string_of_int l))
+  | Fault.Delay_outputs d -> Printf.sprintf "Fault.Delay_outputs (Time.us %d)" d
+  | Fault.Corrupt_outputs -> "Fault.Corrupt_outputs"
+  | Fault.Equivocate -> "Fault.Equivocate"
+  | Fault.Babble { bogus_per_period } ->
+    Printf.sprintf "Fault.Babble { bogus_per_period = %d }" bogus_per_period
+
+let event_expr (e : Fault.event) =
+  Printf.sprintf "{ Fault.at = Time.us %d; node = %d; behavior = %s }" e.Fault.at
+    e.Fault.node (behavior_expr e.Fault.behavior)
+
+let repro_snippet (t : trial) ~wl_seed ~script ~horizon =
+  let p = t.params in
+  Printf.sprintf
+    "(* Reproduces the Definition 3.1 violation found by campaign trial %d:\n\
+    \   measured recovery exceeds R = %s. Uses only the public API. *)\n\
+     open Btr_util\n\
+     module Fault = Btr_fault.Fault\n\n\
+     let () =\n\
+    \  let spec =\n\
+    \    Btr.Scenario.spec\n\
+    \      ~workload:(%s)\n\
+    \      ~topology:(%s)\n\
+    \      ~f:%d ~recovery_bound:(Time.us %d)\n\
+    \      ~script:[ %s ]\n\
+    \      ~horizon:(Time.us %d) ~seed:%d%s ()\n\
+    \  in\n\
+    \  match Btr.Scenario.run spec with\n\
+    \  | Error e -> Format.printf \"rejected: %%a@.\" Btr_planner.Planner.pp_error e\n\
+    \  | Ok rt ->\n\
+    \    List.iter\n\
+    \      (fun r -> Format.printf \"recovery %%a (R = %%a)@.\" Time.pp r Time.pp (Time.us %d))\n\
+    \      (Btr.Metrics.recovery_times (Btr.Runtime.metrics rt))\n"
+    t.index (Time.to_string p.r) (workload_expr ~wl_seed p) (topology_expr p) p.f p.r
+    (String.concat ";\n                " (List.map event_expr script))
+    horizon t.runtime_seed (tune_expr p) p.r
+
+let shrink_violation ~cache ~budget (t : trial) =
+  let pred s = violates (run_script ~cache t.params ~runtime_seed:t.runtime_seed s) in
+  if not (pred t.script) then None
+  else begin
+    let period =
+      match Cache.strategy cache t.params with
+      | Ok strategy -> Graph.period (Planner.workload strategy)
+      | Error _ -> Time.ms 20
+    in
+    let sh = Shrink.minimize ~violates:pred ~round_to:period ~max_runs:budget t.script in
+    match run_script ~cache t.params ~runtime_seed:t.runtime_seed sh.Shrink.script with
+    | Violation stats ->
+      let horizon = horizon_for ~period ~r:t.params.r sh.Shrink.script in
+      Some
+        {
+          source = t;
+          script = sh.Shrink.script;
+          stats;
+          shrink_runs = sh.Shrink.runs;
+          snippet =
+            repro_snippet t ~wl_seed:(workload_seed cache.Cache.seed)
+              ~script:sh.Shrink.script ~horizon;
+        }
+    | _ -> None
+  end
+
+(* --- the domain pool ----------------------------------------------- *)
+
+let run ?obs ?jobs spec =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let jobs = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
+  let cache = Cache.create ~seed:spec.seed in
+  let trials = Array.of_list (compile spec) in
+  let n = Array.length trials in
+  let configs = List.length (grid_params spec.grid) in
+  let verdict_of (t : trial) =
+    {
+      trial = t;
+      outcome = run_script ~cache t.params ~runtime_seed:t.runtime_seed t.script;
+    }
+  in
+  let slots = Array.make n None in
+  if jobs = 1 || n <= 1 then
+    Array.iteri (fun i t -> slots.(i) <- Some (verdict_of t)) trials
+  else begin
+    (* Workers pull indices from a mutex-protected queue and write into
+       distinct slots; per-trial determinism makes the slot contents
+       independent of the interleaving. *)
+    let next = ref 0 in
+    let lock = Mutex.create () in
+    let worker () =
+      let rec loop () =
+        Mutex.lock lock;
+        let i = !next in
+        if i >= n then Mutex.unlock lock
+        else begin
+          next := i + 1;
+          Mutex.unlock lock;
+          slots.(i) <- Some (verdict_of trials.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = draw_list (Stdlib.min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  let verdicts =
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> invalid_arg "campaign: unfilled slot")
+         slots)
+  in
+  let violations =
+    List.filter_map
+      (fun v ->
+        if violates v.outcome then
+          shrink_violation ~cache
+            ~budget:(if spec.shrink then spec.shrink_budget else 0)
+            v.trial
+        else None)
+      verdicts
+  in
+  (* All telemetry from the coordinating domain, in trial order: traces
+     and counters are identical whatever [jobs] was. *)
+  if Obs.enabled obs then begin
+    Obs.emit obs ~at:Time.zero Btr_obs.Obs.Campaign
+      (Btr_obs.Obs.Campaign_started { trials = n; configs });
+    List.iter
+      (fun v ->
+        Obs.emit obs ~at:Time.zero Btr_obs.Obs.Campaign
+          (Btr_obs.Obs.Trial_verdict
+             { trial = v.trial.index; verdict = outcome_name v.outcome }))
+      verdicts;
+    List.iter
+      (fun s ->
+        Obs.emit obs ~at:Time.zero Btr_obs.Obs.Campaign
+          (Btr_obs.Obs.Violation_shrunk
+             {
+               trial = s.source.index;
+               events_before = List.length s.source.script;
+               events_after = List.length s.script;
+             }))
+      violations
+  end;
+  let reg = Obs.registry obs in
+  let count name v =
+    Btr_obs.Obs.Counter.add (Btr_obs.Obs.Registry.counter reg Btr_obs.Obs.Campaign name) v
+  in
+  let tally pred = List.length (List.filter pred verdicts) in
+  count "trials" n;
+  count "violations" (tally (fun v -> violates v.outcome));
+  count "rejected" (tally (fun v -> match v.outcome with Rejected _ -> true | _ -> false));
+  count "errors" (tally (fun v -> match v.outcome with Errored _ -> true | _ -> false));
+  count "plan_cache_hits" (Cache.hits cache);
+  count "plan_cache_misses" (Cache.misses cache);
+  count "shrink_runs" (List.fold_left (fun a s -> a + s.shrink_runs) 0 violations);
+  {
+    spec;
+    configs;
+    jobs;
+    verdicts;
+    violations;
+    cache_hits = Cache.hits cache;
+    cache_misses = Cache.misses cache;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Schedule codec                                                      *)
+
+let behavior_to_string (b : Fault.behavior) =
+  match b with
+  | Fault.Crash -> "crash"
+  | Fault.Omit_outputs -> "omit"
+  | Fault.Omit_to l -> "omitto" ^ String.concat "" (List.map (Printf.sprintf ".%d") l)
+  | Fault.Delay_outputs d -> Printf.sprintf "delay.%d" d
+  | Fault.Corrupt_outputs -> "corrupt"
+  | Fault.Equivocate -> "equivocate"
+  | Fault.Babble { bogus_per_period } -> Printf.sprintf "babble.%d" bogus_per_period
+
+let script_to_string s =
+  String.concat ";"
+    (List.map
+       (fun (e : Fault.event) ->
+         Printf.sprintf "%s@%d@%d" (behavior_to_string e.Fault.behavior) e.Fault.node
+           e.Fault.at)
+       (List.sort Shrink.compare_event s))
+
+let behavior_of_string s =
+  match String.split_on_char '.' s with
+  | [ "crash" ] -> Ok Fault.Crash
+  | [ "omit" ] -> Ok Fault.Omit_outputs
+  | [ "corrupt" ] -> Ok Fault.Corrupt_outputs
+  | [ "equivocate" ] -> Ok Fault.Equivocate
+  | [ "delay"; d ] -> (
+    match int_of_string_opt d with
+    | Some d when d > 0 -> Ok (Fault.Delay_outputs d)
+    | _ -> Error (Printf.sprintf "bad delay %S" s))
+  | [ "babble"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Fault.Babble { bogus_per_period = n })
+    | _ -> Error (Printf.sprintf "bad babble %S" s))
+  | "omitto" :: (_ :: _ as targets) -> (
+    let parsed = List.map int_of_string_opt targets in
+    if List.exists Option.is_none parsed then
+      Error (Printf.sprintf "bad omitto %S" s)
+    else Ok (Fault.Omit_to (List.map Option.get parsed)))
+  | _ -> Error (Printf.sprintf "unknown fault class %S" s)
+
+let event_of_string s =
+  match String.split_on_char '@' s with
+  | [ cls; node; at ] -> (
+    match behavior_of_string cls, int_of_string_opt node, int_of_string_opt at with
+    | Ok behavior, Some node, Some at when node >= 0 && at >= 0 ->
+      Ok { Fault.at; node; behavior }
+    | (Error _ as e), _, _ -> e |> Result.map (fun _ -> assert false)
+    | _ -> Error (Printf.sprintf "bad event %S (want class[.param]@node@at_us)" s))
+  | _ -> Error (Printf.sprintf "bad event %S (want class[.param]@node@at_us)" s)
+
+let script_of_string s =
+  if String.trim s = "" then Ok []
+  else
+    let rec go acc = function
+      | [] -> Ok (List.sort Shrink.compare_event (List.rev acc))
+      | part :: rest -> (
+        match event_of_string (String.trim part) with
+        | Ok e -> go (e :: acc) rest
+        | Error _ as e -> e |> Result.map (fun _ -> []))
+    in
+    go [] (String.split_on_char ';' s)
+
+(* ------------------------------------------------------------------ *)
+(* JSON artifacts                                                      *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_field b first key value =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  Buffer.add_char b '"';
+  json_escape b key;
+  Buffer.add_string b "\":";
+  Buffer.add_string b value
+
+let add_int b first key v = add_field b first key (string_of_int v)
+
+let add_str b first key v =
+  let vb = Buffer.create (String.length v + 2) in
+  Buffer.add_char vb '"';
+  json_escape vb v;
+  Buffer.add_char vb '"';
+  add_field b first key (Buffer.contents vb)
+
+let add_bool b first key v = add_field b first key (if v then "true" else "false")
+
+let obj f =
+  let b = Buffer.create 256 in
+  let first = ref true in
+  Buffer.add_char b '{';
+  f b first;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let add_params b first (p : params) =
+  add_str b first "workload" p.workload;
+  add_str b first "topology" p.topology;
+  add_int b first "nodes" p.nodes;
+  add_int b first "f" p.f;
+  add_int b first "r_us" p.r;
+  add_int b first "bandwidth_bps" p.bandwidth_bps;
+  add_str b first "protect" (Format.asprintf "%a" Task.pp_criticality p.protect);
+  add_str b first "control_share" (share_str p.control_share)
+
+let add_stats b first (st : run_stats) =
+  add_int b first "worst_recovery_us" st.worst_recovery;
+  add_int b first "recoveries" (List.length st.recoveries);
+  add_int b first "incorrect_us" st.incorrect;
+  add_int b first "deadline_miss_bp" st.deadline_miss_bp;
+  add_int b first "correct_bp" st.correct_bp;
+  add_int b first "bytes" st.bytes_sent;
+  add_int b first "control_bytes" st.control_bytes;
+  add_int b first "sim_events" st.sim_events;
+  add_int b first "mode_changes" st.mode_changes;
+  add_int b first "periods" st.periods
+
+let verdict_json v =
+  obj (fun b first ->
+      add_int b first "trial" v.trial.index;
+      add_params b first v.trial.params;
+      add_int b first "seed" v.trial.runtime_seed;
+      add_int b first "events" (List.length v.trial.script);
+      add_str b first "script" (script_to_string v.trial.script);
+      add_int b first "horizon_us" v.trial.horizon;
+      add_str b first "verdict" (outcome_name v.outcome);
+      match v.outcome with
+      | Pass st | Violation st -> add_stats b first st
+      | Rejected reason | Errored reason -> add_str b first "reason" reason)
+
+let violation_json s =
+  obj (fun b first ->
+      add_int b first "violation" s.source.index;
+      add_str b first "script" (script_to_string s.script);
+      add_int b first "events" (List.length s.script);
+      add_int b first "events_before" (List.length s.source.script);
+      add_int b first "shrink_runs" s.shrink_runs;
+      add_int b first "r_us" s.source.params.r;
+      add_stats b first s.stats;
+      add_str b first "snippet" s.snippet)
+
+let fnv64 lines =
+  let h = ref 0xcbf29ce484222325L in
+  let mix c = h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L in
+  List.iter
+    (fun l ->
+      String.iter mix l;
+      mix '\n')
+    lines;
+  Printf.sprintf "%016Lx" !h
+
+let fingerprint r = fnv64 (List.map verdict_json r.verdicts)
+
+let grid_axes_str g =
+  let commas f l = String.concat "," (List.map f l) in
+  Printf.sprintf "w=%s|t=%s|n=%s|f=%s|r_us=%s|bw=%s|protect=%s|share=%s"
+    (commas Fun.id g.workloads) (commas Fun.id g.topologies)
+    (commas string_of_int g.node_counts)
+    (commas string_of_int g.fault_bounds)
+    (commas string_of_int g.recovery_bounds)
+    (commas string_of_int g.bandwidths)
+    (commas (Format.asprintf "%a" Task.pp_criticality) g.protect_levels)
+    (commas share_str g.control_shares)
+
+let result_json_lines r =
+  let header =
+    obj (fun b first ->
+        add_int b first "campaign" 1;
+        add_int b first "seed" r.spec.seed;
+        add_int b first "trials" r.spec.trials;
+        add_int b first "configs" r.configs;
+        add_bool b first "shrink" r.spec.shrink;
+        add_str b first "grid" (grid_axes_str r.spec.grid))
+  in
+  let tally pred = List.length (List.filter pred r.verdicts) in
+  let summary =
+    obj (fun b first ->
+        add_int b first "total" (List.length r.verdicts);
+        add_int b first "violations" (tally (fun v -> violates v.outcome));
+        add_int b first "rejected"
+          (tally (fun v -> match v.outcome with Rejected _ -> true | _ -> false));
+        add_int b first "errors"
+          (tally (fun v -> match v.outcome with Errored _ -> true | _ -> false));
+        add_int b first "cache_hits" r.cache_hits;
+        add_int b first "cache_misses" r.cache_misses;
+        add_int b first "configs" r.configs;
+        add_str b first "fingerprint" (fingerprint r))
+  in
+  (header :: List.map verdict_json r.verdicts)
+  @ List.map violation_json r.violations
+  @ [ summary ]
+
+(* ------------------------------------------------------------------ *)
+(* Flat JSON parsing (for `campaign report`)                           *)
+
+module Flat_json = struct
+  type value = Int of int | Float of float | Str of string | Bool of bool
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let expect c =
+      match peek () with
+      | Some x when x = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let skip_ws () =
+      while
+        match peek () with
+        | Some (' ' | '\t' | '\n' | '\r') -> true
+        | _ -> false
+      do
+        advance ()
+      done
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'u' ->
+            advance ();
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
+            | Some _ -> Buffer.add_char b '?'
+            | None -> fail "bad \\u escape");
+            pos := !pos + 4;
+            go ()
+          | _ -> fail "bad escape")
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_scalar () =
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some 't' ->
+        if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Bool true
+        end
+        else fail "bad literal"
+      | Some 'f' ->
+        if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Bool false
+        end
+        else fail "bad literal"
+      | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        let is_num c =
+          match c with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        in
+        while (match peek () with Some c -> is_num c | None -> false) do
+          advance ()
+        done;
+        let tok = String.sub s start (!pos - start) in
+        (match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" tok)))
+      | _ -> fail "expected a scalar value"
+    in
+    try
+      skip_ws ();
+      expect '{';
+      skip_ws ();
+      let fields = ref [] in
+      (match peek () with
+      | Some '}' -> advance ()
+      | _ ->
+        let rec members () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          skip_ws ();
+          let v = parse_scalar () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        members ());
+      skip_ws ();
+      if !pos <> n then fail "trailing input";
+      Ok (List.rev !fields)
+    with Bad m -> Error m
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+let render_report lines =
+  let open Flat_json in
+  let parse_all () =
+    List.filteri (fun _ l -> String.trim l <> "") lines
+    |> List.map (fun l ->
+           match parse l with
+           | Ok fields -> fields
+           | Error m -> raise (Bad (Printf.sprintf "%s in line %s" m l)))
+  in
+  match parse_all () with
+  | exception Bad m -> Error m
+  | objs ->
+    let get fields k = List.assoc_opt k fields in
+    let int_of fields k = match get fields k with Some (Int i) -> Some i | _ -> None in
+    let str_of fields k = match get fields k with Some (Str s) -> Some s | _ -> None in
+    let verdict_lines = List.filter (fun o -> int_of o "trial" <> None) objs in
+    let violation_lines = List.filter (fun o -> int_of o "violation" <> None) objs in
+    let summary = List.find_opt (fun o -> int_of o "total" <> None) objs in
+    let buf = Buffer.create 1024 in
+    let tally pred = List.length (List.filter pred verdict_lines) in
+    let verdict_is v o = str_of o "verdict" = Some v in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "campaign report: %d trials — %d pass, %d violations, %d rejected, %d errors\n"
+         (List.length verdict_lines)
+         (tally (verdict_is "pass"))
+         (tally (verdict_is "violation"))
+         (tally (verdict_is "rejected"))
+         (tally (verdict_is "error")));
+    (match summary with
+    | Some s ->
+      (match int_of s "cache_hits", int_of s "cache_misses" with
+      | Some h, Some m ->
+        Buffer.add_string buf
+          (Printf.sprintf "plan cache: %d hits / %d misses (%d configs planned once)\n" h m m)
+      | _ -> ());
+      (match str_of s "fingerprint" with
+      | Some fp -> Buffer.add_string buf (Printf.sprintf "fingerprint: %s\n" fp)
+      | None -> ())
+    | None -> ());
+    Buffer.add_char buf '\n';
+    (* Per-configuration aggregation, first-seen (= grid) order. *)
+    let key_of o =
+      Printf.sprintf "%s/%s n=%s f=%s R=%sus bw=%s %s share=%s"
+        (Option.value ~default:"?" (str_of o "workload"))
+        (Option.value ~default:"?" (str_of o "topology"))
+        (match int_of o "nodes" with Some i -> string_of_int i | None -> "?")
+        (match int_of o "f" with Some i -> string_of_int i | None -> "?")
+        (match int_of o "r_us" with Some i -> string_of_int i | None -> "?")
+        (match int_of o "bandwidth_bps" with Some i -> string_of_int i | None -> "?")
+        (Option.value ~default:"?" (str_of o "protect"))
+        (Option.value ~default:"?" (str_of o "control_share"))
+    in
+    let groups =
+      List.fold_left
+        (fun acc o ->
+          let k = key_of o in
+          if List.mem_assoc k acc then
+            List.map (fun (k', os) -> if k' = k then (k', o :: os) else (k', os)) acc
+          else acc @ [ (k, [ o ]) ])
+        [] verdict_lines
+    in
+    let table =
+      Table.create ~title:"per configuration"
+        ~header:[ "configuration"; "trials"; "viol"; "rej"; "worst recovery"; "max incorrect" ]
+    in
+    List.iter
+      (fun (k, os) ->
+        let os = List.rev os in
+        let n_tr = List.length os in
+        let viol = List.length (List.filter (verdict_is "violation") os) in
+        let rej = List.length (List.filter (verdict_is "rejected") os) in
+        let maxi key =
+          List.fold_left
+            (fun a o -> match int_of o key with Some v -> Stdlib.max a v | None -> a)
+            0 os
+        in
+        Table.add_row table
+          [
+            k;
+            string_of_int n_tr;
+            string_of_int viol;
+            string_of_int rej;
+            Time.to_string (maxi "worst_recovery_us");
+            Time.to_string (maxi "incorrect_us");
+          ])
+      groups;
+    Buffer.add_string buf (Table.render table);
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun o ->
+        match int_of o "violation", str_of o "script" with
+        | Some idx, Some script ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "violation (trial %d): %s\n  events %s (from %s), shrink runs %s, worst recovery %s vs R %s\n"
+               idx script
+               (match int_of o "events" with Some i -> string_of_int i | None -> "?")
+               (match int_of o "events_before" with Some i -> string_of_int i | None -> "?")
+               (match int_of o "shrink_runs" with Some i -> string_of_int i | None -> "?")
+               (match int_of o "worst_recovery_us" with
+               | Some i -> Time.to_string i
+               | None -> "?")
+               (match int_of o "r_us" with Some i -> Time.to_string i | None -> "?"))
+        | _ -> ())
+      violation_lines;
+    Ok (Buffer.contents buf)

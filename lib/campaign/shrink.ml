@@ -1,0 +1,127 @@
+open Btr_util
+module Fault = Btr_fault.Fault
+
+let compare_event (a : Fault.event) (b : Fault.event) =
+  match Time.compare a.Fault.at b.Fault.at with
+  | 0 -> (
+    match Int.compare a.Fault.node b.Fault.node with
+    | 0 ->
+      String.compare
+        (Format.asprintf "%a" Fault.pp_behavior a.Fault.behavior)
+        (Format.asprintf "%a" Fault.pp_behavior b.Fault.behavior)
+    | c -> c)
+  | c -> c
+
+type result = {
+  script : Fault.script;
+  runs : int;
+  initial_events : int;
+  removed_events : int;
+}
+
+(* Replace element [i]; order is preserved. *)
+let set_nth xs i x = List.mapi (fun j y -> if j = i then x else y) xs
+
+let drop_nth xs i = List.filteri (fun j _ -> j <> i) xs
+
+let minimize ~violates ?(round_to = Time.zero) ?(max_runs = 250) script0 =
+  let runs = ref 0 in
+  let accept cand =
+    if !runs >= max_runs || cand = [] then false
+    else begin
+      incr runs;
+      violates cand
+    end
+  in
+  let current = ref script0 in
+  (* Try each candidate in [cands]; commit the first accepted one. *)
+  let first_accepted cands =
+    match List.find_opt accept cands with
+    | Some c ->
+      current := c;
+      true
+    | None -> false
+  in
+  (* Pass 1: drop events. Halves first (cheap when most of the script is
+     noise), then single events to a fixpoint. *)
+  let rec drop_halves () =
+    let s = !current in
+    let n = List.length s in
+    if n >= 4 then begin
+      let half = n / 2 in
+      let front = List.filteri (fun i _ -> i < half) s in
+      let back = List.filteri (fun i _ -> i >= half) s in
+      if first_accepted [ front; back ] then drop_halves ()
+    end
+  in
+  let rec drop_singles () =
+    let s = !current in
+    let cands = List.mapi (fun i _ -> drop_nth s i) s in
+    if first_accepted cands then drop_singles ()
+  in
+  (* Pass 2: simplify activation times — to zero, else rounded down. *)
+  let simplify_times () =
+    let changed = ref false in
+    (* this pass never changes the script's length, so indices stay valid *)
+    for i = 0 to List.length !current - 1 do
+      let s = !current in
+      let cur = List.nth s i in
+      if cur.Fault.at <> Time.zero then begin
+        let zeroed = set_nth s i { cur with Fault.at = Time.zero } in
+        if accept zeroed then begin
+          current := zeroed;
+          changed := true
+        end
+        else if round_to > Time.zero then begin
+          let rounded = Time.mul round_to (cur.Fault.at / round_to) in
+          if rounded < cur.Fault.at then
+            let cand = set_nth s i { cur with Fault.at = rounded } in
+            if accept cand then begin
+              current := cand;
+              changed := true
+            end
+        end
+      end
+    done;
+    !changed
+  in
+  (* Pass 3: shrink behaviour parameters toward their floor. *)
+  let weaken (b : Fault.behavior) =
+    match b with
+    | Fault.Babble { bogus_per_period } when bogus_per_period > 1 ->
+      Some (Fault.Babble { bogus_per_period = bogus_per_period / 2 })
+    | Fault.Delay_outputs d when d > Time.ms 1 ->
+      Some (Fault.Delay_outputs (Time.max (Time.ms 1) (Time.div d 2)))
+    | Fault.Omit_to (_ :: _ :: _ as targets) ->
+      Some (Fault.Omit_to (List.tl targets))
+    | _ -> None
+  in
+  let rec simplify_params i =
+    let s = !current in
+    if i >= List.length s then false
+    else
+      let e = List.nth s i in
+      match weaken e.Fault.behavior with
+      | Some b when accept (set_nth s i { e with Fault.behavior = b }) ->
+        current := set_nth s i { e with Fault.behavior = b };
+        (* retry the same event: parameters shrink geometrically *)
+        ignore (simplify_params i);
+        true
+      | _ -> simplify_params (i + 1)
+  in
+  let rec fixpoint () =
+    let before = !current in
+    drop_halves ();
+    drop_singles ();
+    let t = simplify_times () in
+    let p = simplify_params 0 in
+    if (t || p || !current <> before) && !runs < max_runs then fixpoint ()
+  in
+  if script0 <> [] && max_runs > 0 then fixpoint ();
+  let script = List.sort compare_event !current in
+  {
+    script;
+    runs = !runs;
+    initial_events = List.length script0;
+    removed_events = List.length script0 - List.length script;
+  }

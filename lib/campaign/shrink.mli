@@ -1,0 +1,46 @@
+(** Counterexample shrinking for campaign-discovered bound violations.
+
+    When a fault schedule empirically violates the Definition 3.1 bound,
+    the raw schedule is rarely the story: most of its events are noise
+    the generator happened to draw alongside the one or two that matter.
+    This module minimizes a violating script while preserving the
+    violation, greedy-first (the predicate is a full simulation, so
+    every candidate costs a run and the budget is explicit):
+
+    + drop whole events — halves first, then one at a time — until no
+      single event can be removed (this is also what reduces the number
+      of distinct faulty nodes, the adversary's [k]);
+    + simplify activation times — move events to t = 0, else round them
+      down to [round_to] (callers pass the workload period);
+    + shrink behaviour parameters — halve babble rates and delay
+      durations, drop targets from selective omissions.
+
+    The result is the fixpoint of those passes (or wherever the run
+    budget ran out); every intermediate accepted candidate — and hence
+    the result — satisfies [violates]. *)
+
+module Fault = Btr_fault.Fault
+
+val compare_event : Fault.event -> Fault.event -> int
+(** Total deterministic order: activation time, then node, then the
+    rendered behaviour. Campaign scripts are kept sorted under this so
+    serialized schedules are canonical. *)
+
+type result = {
+  script : Fault.script;  (** minimized; still satisfies [violates] *)
+  runs : int;  (** predicate evaluations spent *)
+  initial_events : int;
+  removed_events : int;
+}
+
+val minimize :
+  violates:(Fault.script -> bool) ->
+  ?round_to:Btr_util.Time.t ->
+  ?max_runs:int ->
+  Fault.script ->
+  result
+(** [minimize ~violates script] assumes [violates script] already holds
+    (callers check; the result is meaningless otherwise). [round_to]
+    (default: none) enables rounding activation times down to that
+    grain. [max_runs] (default 250) caps predicate evaluations; when it
+    is 0 the input is returned untouched. *)

@@ -53,8 +53,14 @@ let avionics_demo ?(seed = 1) ?obs () =
       [ { Fault.at = Time.ms 250; node = 3; behavior = Fault.Corrupt_outputs } ]
     ~horizon:(Time.sec 1) ~seed ?obs ()
 
+(* The planner config a spec will actually build with. [tune] is an
+   opaque closure, so the spec itself cannot serve as a cache key; the
+   resolved config can (via Planner.config_key). *)
+let resolved_config s =
+  s.tune (Planner.default_config ~f:s.f ~recovery_bound:s.recovery_bound)
+
 let plan s =
-  let cfg = s.tune (Planner.default_config ~f:s.f ~recovery_bound:s.recovery_bound) in
+  let cfg = resolved_config s in
   match Planner.build cfg s.workload s.topology with
   | Error _ as e -> e
   | Ok strategy -> (

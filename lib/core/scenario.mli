@@ -49,6 +49,13 @@ val avionics_demo : ?seed:int -> ?obs:Btr_obs.Obs.t -> unit -> spec
     flooding and a mode switch, so a trace of it contains events from
     every subsystem. *)
 
+val resolved_config : spec -> Planner.config
+(** The planner config {!plan} will build with: [spec.tune] applied to
+    the defaults for [f] and [recovery_bound]. Because [tune] is an
+    opaque closure, specs are incomparable; cache keys must be derived
+    from this resolved config (see {!Planner.config_key}), which is what
+    the campaign plan cache does. *)
+
 val plan : spec -> (Planner.t, Planner.error) result
 (** Just the offline phase: build the strategy, then statically verify
     it with {!Btr_check.Check}. A strategy with [Error]-severity

@@ -12,6 +12,7 @@ type subsystem =
   | Plant
   | Baseline
   | Check
+  | Campaign
 
 let subsystem_name = function
   | Sim -> "sim"
@@ -25,6 +26,7 @@ let subsystem_name = function
   | Plant -> "plant"
   | Baseline -> "baseline"
   | Check -> "check"
+  | Campaign -> "campaign"
 
 type payload =
   | Run_started of { until : Time.t }
@@ -68,6 +70,9 @@ type payload =
   | Standby_activated of { task : int; period : int }
   | Audit_exposed of { node : int }
   | Check_diagnostic of { code : string; severity : string; detail : string }
+  | Campaign_started of { trials : int; configs : int }
+  | Trial_verdict of { trial : int; verdict : string }
+  | Violation_shrunk of { trial : int; events_before : int; events_after : int }
   | Note of { what : string; detail : string }
 
 type event = {
@@ -199,6 +204,9 @@ let payload_tag = function
   | Standby_activated _ -> "standby-activated"
   | Audit_exposed _ -> "audit-exposed"
   | Check_diagnostic _ -> "check-diagnostic"
+  | Campaign_started _ -> "campaign-started"
+  | Trial_verdict _ -> "trial-verdict"
+  | Violation_shrunk _ -> "violation-shrunk"
   | Note _ -> "note"
 
 let add_int b key v =
@@ -306,6 +314,16 @@ let add_payload b = function
     add_str b "code" code;
     add_str b "severity" severity;
     add_str b "detail" detail
+  | Campaign_started { trials; configs } ->
+    add_int b "trials" trials;
+    add_int b "configs" configs
+  | Trial_verdict { trial; verdict } ->
+    add_int b "trial" trial;
+    add_str b "verdict" verdict
+  | Violation_shrunk { trial; events_before; events_after } ->
+    add_int b "trial" trial;
+    add_int b "before" events_before;
+    add_int b "after" events_after
   | Note { what; detail } ->
     add_str b "what" what;
     add_str b "detail" detail

@@ -38,6 +38,7 @@ type subsystem =
   | Plant
   | Baseline
   | Check  (** the static plan verifier ({!Btr_check}) *)
+  | Campaign  (** the fault-injection campaign engine ({!Btr_campaign}) *)
 
 val subsystem_name : subsystem -> string
 (** Lowercase stable name, used in JSON output and metric names. *)
@@ -102,6 +103,14 @@ type payload =
       (** a self-stabilization audit caught a faulty node *)
   | Check_diagnostic of { code : string; severity : string; detail : string }
       (** a static-verification finding (code like [BTR-E303]) *)
+  | Campaign_started of { trials : int; configs : int }
+      (** a fault-injection campaign compiled its trial list; [configs]
+          is the parameter-grid size (worker count is deliberately not
+          recorded: traces are identical for any [--jobs]) *)
+  | Trial_verdict of { trial : int; verdict : string }
+      (** one campaign trial finished: [pass]/[violation]/[rejected] *)
+  | Violation_shrunk of { trial : int; events_before : int; events_after : int }
+      (** the shrinker minimized a bound violation's fault schedule *)
   | Note of { what : string; detail : string }
       (** escape hatch for one-off annotations; keep rare *)
 

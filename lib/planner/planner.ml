@@ -36,6 +36,24 @@ let default_config ~f ~recovery_bound =
     shares = None;
   }
 
+(* A total, deterministic serialization of a *resolved* config. Two
+   configs with equal fields get equal keys even when they were produced
+   by different [tune] closures, so caches of built strategies (the
+   campaign plan cache) can key on this instead of physical equality. *)
+let config_key c =
+  let crit l = Format.asprintf "%a" Task.pp_criticality l in
+  let shares =
+    match c.shares with
+    | None -> "default"
+    | Some s -> Printf.sprintf "%.6f/%.6f" s.Net.data_frac s.Net.control_frac
+  in
+  Printf.sprintf
+    "f=%d;R=%d;protect=%s;degree=%d;checker=%d;guard=%d;digest=%d;evidence=%d;margin=%d;reassign=%s;shares=%s"
+    c.f c.recovery_bound (crit c.protect_level) c.degree c.checker_overhead
+    c.guard_wcet c.digest_size c.evidence_size c.detection_margin
+    (match c.reassignment with Minimal -> "minimal" | Naive -> "naive")
+    shares
+
 type plan = {
   faulty : int list;
   aug : Augment.t;

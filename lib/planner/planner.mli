@@ -57,6 +57,14 @@ val default_config : f:int -> recovery_bound:Time.t -> config
 (** degree = f+1, protect Medium and above, 100µs checker overhead,
     200µs guards, 32B digests, 160B evidence, 1ms margin, Minimal. *)
 
+val config_key : config -> string
+(** A total, deterministic serialization of a config: equal fields give
+    equal keys, regardless of how the config was produced (e.g. by
+    different [Scenario.spec.tune] closures). Strategy caches — the
+    campaign plan cache in particular — key on this, never on physical
+    equality of configs or closures. Covers every field, including the
+    bandwidth shares. *)
+
 type plan = {
   faulty : int list;  (** this mode's fault pattern, sorted *)
   aug : Augment.t;  (** augmented workload actually running *)

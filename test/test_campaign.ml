@@ -1,0 +1,432 @@
+open Btr_util
+module Campaign = Btr_campaign.Campaign
+module Shrink = Btr_campaign.Shrink
+module Task = Btr_workload.Task
+module Fault = Btr_fault.Fault
+module Obs = Btr_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- grids ---------------------------------------------------------- *)
+
+let two_axis_grid =
+  {
+    Campaign.default_grid with
+    Campaign.fault_bounds = [ 1; 2 ];
+    control_shares = [ None; Some 0.005 ];
+  }
+
+let test_grid_cross_product () =
+  check_int "singleton grid" 1 (List.length (Campaign.grid_params Campaign.default_grid));
+  let ps = Campaign.grid_params two_axis_grid in
+  check_int "2x2 grid" 4 (List.length ps);
+  (* declaration order: f varies slower than control_share *)
+  let fs = List.map (fun (p : Campaign.params) -> p.Campaign.f) ps in
+  check_bool "f order" true (fs = [ 1; 1; 2; 2 ]);
+  List.iter
+    (fun (p : Campaign.params) ->
+      check_int "nodes fixed" 6 p.Campaign.nodes;
+      check_int "R fixed" (Time.ms 200) p.Campaign.r)
+    ps
+
+let test_grid_validation () =
+  let ok g = Result.is_ok (Campaign.validate_grid g) in
+  check_bool "default valid" true (ok Campaign.default_grid);
+  check_bool "empty axis" false
+    (ok { Campaign.default_grid with Campaign.workloads = [] });
+  check_bool "unknown workload" false
+    (ok { Campaign.default_grid with Campaign.workloads = [ "nosuch" ] });
+  check_bool "unknown topology" false
+    (ok { Campaign.default_grid with Campaign.topologies = [ "star" ] });
+  check_bool "negative f" false
+    (ok { Campaign.default_grid with Campaign.fault_bounds = [ -1 ] });
+  check_bool "zero R" false
+    (ok { Campaign.default_grid with Campaign.recovery_bounds = [ Time.zero ] });
+  check_bool "share > 0.6" false
+    (ok { Campaign.default_grid with Campaign.control_shares = [ Some 0.9 ] })
+
+(* --- compilation ---------------------------------------------------- *)
+
+let test_compile_deterministic () =
+  let spec = Campaign.spec ~grid:two_axis_grid ~trials:12 ~seed:5 () in
+  let a = Campaign.compile spec and b = Campaign.compile spec in
+  check_int "trial count" 12 (List.length a);
+  List.iter2
+    (fun (x : Campaign.trial) (y : Campaign.trial) ->
+      check_int "seed equal" x.Campaign.runtime_seed y.Campaign.runtime_seed;
+      check_string "script equal"
+        (Campaign.script_to_string x.Campaign.script)
+        (Campaign.script_to_string y.Campaign.script))
+    a b;
+  (* round-robin over the grid *)
+  List.iteri
+    (fun i (t : Campaign.trial) ->
+      check_int "trial index" i t.Campaign.index;
+      let expected = List.nth (Campaign.grid_params two_axis_grid) (i mod 4) in
+      check_int "config round-robin f" expected.Campaign.f t.Campaign.params.Campaign.f)
+    a
+
+let test_trial_of_index () =
+  let spec = Campaign.spec ~grid:two_axis_grid ~trials:9 ~seed:3 () in
+  let all = Campaign.compile spec in
+  List.iteri
+    (fun i (t : Campaign.trial) ->
+      match Campaign.trial_of_index spec i with
+      | None -> Alcotest.failf "trial %d missing" i
+      | Some u ->
+        check_int "seed" t.Campaign.runtime_seed u.Campaign.runtime_seed;
+        check_int "horizon" t.Campaign.horizon u.Campaign.horizon;
+        check_string "script"
+          (Campaign.script_to_string t.Campaign.script)
+          (Campaign.script_to_string u.Campaign.script))
+    all;
+  check_bool "out of range" true (Campaign.trial_of_index spec 9 = None);
+  check_bool "negative" true (Campaign.trial_of_index spec (-1) = None)
+
+let test_scripts_respect_f () =
+  let spec = Campaign.spec ~grid:two_axis_grid ~trials:40 ~seed:9 () in
+  List.iter
+    (fun (t : Campaign.trial) ->
+      let nodes =
+        List.sort_uniq Int.compare
+          (List.map (fun (e : Fault.event) -> e.Fault.node) t.Campaign.script)
+      in
+      check_bool "faulty nodes <= f" true
+        (List.length nodes <= t.Campaign.params.Campaign.f);
+      List.iter
+        (fun (e : Fault.event) ->
+          check_bool "event before horizon" true
+            (Time.compare e.Fault.at t.Campaign.horizon < 0))
+        t.Campaign.script)
+    (Campaign.compile spec)
+
+(* --- the schedule codec --------------------------------------------- *)
+
+let test_codec_roundtrip_known () =
+  let s = "babble.8@5@0;omitto.1.2@4@40000;corrupt@3@250000" in
+  match Campaign.script_of_string s with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok script ->
+    check_int "events" 3 (List.length script);
+    check_string "canonical roundtrip" s (Campaign.script_to_string script)
+
+let test_codec_rejects_garbage () =
+  let bad = [ "frob@1@2"; "crash@x@2"; "crash@1"; "babble@1@2"; "delay.0@1@2"; "omitto@1@2" ] in
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "reject %S" s) true
+        (Result.is_error (Campaign.script_of_string s)))
+    bad;
+  check_bool "empty script ok" true (Campaign.script_of_string "" = Ok [])
+
+let prop_codec_roundtrip =
+  (* generated trial scripts survive to_string/of_string unchanged *)
+  QCheck.Test.make ~name:"codec roundtrips compiled scripts" ~count:30
+    QCheck.(map (fun s -> abs s) small_int)
+    (fun seed ->
+      let spec = Campaign.spec ~grid:two_axis_grid ~trials:8 ~seed () in
+      List.for_all
+        (fun (t : Campaign.trial) ->
+          let str = Campaign.script_to_string t.Campaign.script in
+          match Campaign.script_of_string str with
+          | Error _ -> false
+          | Ok back -> Campaign.script_to_string back = str)
+        (Campaign.compile spec))
+
+(* --- determinism across worker counts ------------------------------- *)
+
+let prop_jobs_invariant =
+  QCheck.Test.make ~name:"verdicts identical for jobs=1 and jobs=4" ~count:5
+    QCheck.(map (fun s -> abs s) small_int)
+    (fun seed ->
+      let spec =
+        Campaign.spec ~grid:two_axis_grid ~trials:6 ~seed ~shrink:false ()
+      in
+      let a = Campaign.run ~jobs:1 spec and b = Campaign.run ~jobs:4 spec in
+      Campaign.fingerprint a = Campaign.fingerprint b
+      && List.map Campaign.verdict_json a.Campaign.verdicts
+         = List.map Campaign.verdict_json b.Campaign.verdicts)
+
+let test_full_artifact_jobs_invariant () =
+  (* includes shrinking: the whole artifact, violations included, must
+     not depend on the worker count *)
+  let spec = Campaign.spec ~trials:10 ~seed:7 () in
+  let a = Campaign.run ~jobs:1 spec and b = Campaign.run ~jobs:3 spec in
+  check_bool "some violation found" true (a.Campaign.violations <> []);
+  check_bool "artifacts identical" true
+    (Campaign.result_json_lines a = Campaign.result_json_lines b);
+  check_int "jobs recorded" 3 b.Campaign.jobs
+
+let test_shrunk_violations_replay () =
+  let spec = Campaign.spec ~trials:10 ~seed:7 () in
+  let result = Campaign.run ~jobs:2 spec in
+  check_bool "some violation found" true (result.Campaign.violations <> []);
+  List.iter
+    (fun (s : Campaign.shrunk_violation) ->
+      (* fresh cache: the minimized script violates on its own *)
+      let cache = Campaign.Cache.create ~seed:spec.Campaign.seed in
+      let outcome =
+        Campaign.run_script ~cache s.Campaign.source.Campaign.params
+          ~runtime_seed:s.Campaign.source.Campaign.runtime_seed s.Campaign.script
+      in
+      check_bool "shrunk script still violates" true (Campaign.violates outcome);
+      check_bool "no larger than source" true
+        (List.length s.Campaign.script
+        <= List.length s.Campaign.source.Campaign.script))
+    result.Campaign.violations
+
+(* --- plan cache ------------------------------------------------------ *)
+
+let test_plan_cache_shared () =
+  let spec = Campaign.spec ~grid:two_axis_grid ~trials:16 ~seed:2 ~shrink:false () in
+  let result = Campaign.run ~jobs:1 spec in
+  (* 4 configs -> 4 plans, everything else must hit *)
+  check_int "misses = configs" 4 result.Campaign.cache_misses;
+  check_bool "hits cover the rest" true (result.Campaign.cache_hits >= 12)
+
+let test_plan_key_semantics () =
+  let base = Campaign.default_params in
+  let same = { base with Campaign.workload = "avionics" } in
+  check_string "semantically equal params share a key"
+    (Campaign.plan_key ~seed:1 base)
+    (Campaign.plan_key ~seed:1 same);
+  let shares = { base with Campaign.control_share = Some 0.02 } in
+  let protect = { base with Campaign.protect = Task.High } in
+  let faults = { base with Campaign.f = 2 } in
+  List.iter
+    (fun p ->
+      check_bool "differing config differs" true
+        (Campaign.plan_key ~seed:1 base <> Campaign.plan_key ~seed:1 p))
+    [ shares; protect; faults ]
+
+(* --- shrinking ------------------------------------------------------- *)
+
+(* A deterministic statically-admitted violation: selective omission to
+   a minority of watchers out-waits detection (recovery ~360ms > R).
+   Three noise events that each pass on their own ride along; the
+   shrinker must strip them. *)
+let noisy_violation_script () =
+  match
+    Campaign.script_of_string
+      "omitto.3.5@2@250000;equivocate@1@400000;delay.2000@4@100000;babble.4@0@50000"
+  with
+  | Ok s -> s
+  | Error m -> Alcotest.failf "bad fixture: %s" m
+
+let test_shrinker_minimizes_known_violation () =
+  let params = Campaign.default_params in
+  let trial =
+    {
+      Campaign.index = 0;
+      runtime_seed = 1;
+      params;
+      script = noisy_violation_script ();
+      horizon = Time.sec 1;
+    }
+  in
+  let cache = Campaign.Cache.create ~seed:1 in
+  match Campaign.shrink_violation ~cache ~budget:150 trial with
+  | None -> Alcotest.fail "fixture no longer violates"
+  | Some s ->
+    check_bool "shrunk to <= 3 events" true (List.length s.Campaign.script <= 3);
+    check_bool "kept the essential omission" true
+      (List.exists
+         (fun (e : Fault.event) ->
+           match e.Fault.behavior with Fault.Omit_to _ -> true | _ -> false)
+         s.Campaign.script);
+    check_bool "snippet is a program" true
+      (String.length s.Campaign.snippet > 0
+      && String.sub s.Campaign.snippet 0 2 = "(*");
+    (* replay through a fresh cache *)
+    let cache2 = Campaign.Cache.create ~seed:1 in
+    check_bool "replays to the same violation" true
+      (Campaign.violates
+         (Campaign.run_script ~cache:cache2 params ~runtime_seed:1
+            s.Campaign.script))
+
+let test_shrink_budget_zero_keeps_script () =
+  let params = Campaign.default_params in
+  let script = noisy_violation_script () in
+  let trial =
+    { Campaign.index = 0; runtime_seed = 1; params; script; horizon = Time.sec 1 }
+  in
+  let cache = Campaign.Cache.create ~seed:1 in
+  match Campaign.shrink_violation ~cache ~budget:0 trial with
+  | None -> Alcotest.fail "fixture no longer violates"
+  | Some s ->
+    check_int "unshrunk" (List.length script) (List.length s.Campaign.script);
+    check_int "no runs" 0 s.Campaign.shrink_runs
+
+let test_shrinker_unit () =
+  (* pure predicate: violation iff a crash on node 0 is present *)
+  let crash0 = { Fault.at = Time.ms 7; node = 0; behavior = Fault.Crash } in
+  let noise =
+    [
+      { Fault.at = Time.ms 1; node = 1; behavior = Fault.Equivocate };
+      { Fault.at = Time.ms 2; node = 2; behavior = Fault.Babble { bogus_per_period = 8 } };
+      { Fault.at = Time.ms 3; node = 3; behavior = Fault.Omit_outputs };
+      { Fault.at = Time.ms 4; node = 4; behavior = Fault.Corrupt_outputs };
+    ]
+  in
+  let violates s =
+    List.exists
+      (fun (e : Fault.event) ->
+        e.Fault.node = 0 && e.Fault.behavior = Fault.Crash)
+      s
+  in
+  let r = Shrink.minimize ~violates ~round_to:(Time.ms 5) (noise @ [ crash0 ]) in
+  check_int "single event left" 1 (List.length r.Shrink.script);
+  check_int "removed" 4 r.Shrink.removed_events;
+  (match r.Shrink.script with
+  | [ e ] ->
+    check_int "the crash survives" 0 e.Fault.node;
+    check_int "time zeroed" 0 e.Fault.at
+  | _ -> Alcotest.fail "expected singleton");
+  check_bool "result satisfies predicate" true (violates r.Shrink.script)
+
+let test_shrinker_weakens_params () =
+  let babble n = { Fault.at = Time.zero; node = 0; behavior = Fault.Babble { bogus_per_period = n } } in
+  (* violation iff some babble >= 2 bogus/period *)
+  let violates s =
+    List.exists
+      (fun (e : Fault.event) ->
+        match e.Fault.behavior with
+        | Fault.Babble { bogus_per_period } -> bogus_per_period >= 2
+        | _ -> false)
+      s
+  in
+  let r = Shrink.minimize ~violates [ babble 64 ] in
+  match r.Shrink.script with
+  | [ { Fault.behavior = Fault.Babble { bogus_per_period }; _ } ] ->
+    check_int "babble halved to the floor" 2 bogus_per_period
+  | _ -> Alcotest.fail "expected one babble event"
+
+(* --- observability --------------------------------------------------- *)
+
+let test_obs_events_and_counters () =
+  let obs = Obs.with_memory () in
+  let spec = Campaign.spec ~trials:10 ~seed:7 () in
+  let result = Campaign.run ~obs ~jobs:2 spec in
+  let events = Obs.events obs in
+  let count pred = List.length (List.filter pred events) in
+  check_int "one campaign-started" 1
+    (count (fun e ->
+         match e.Obs.payload with Obs.Campaign_started _ -> true | _ -> false));
+  check_int "one verdict event per trial" 10
+    (count (fun e ->
+         match e.Obs.payload with Obs.Trial_verdict _ -> true | _ -> false));
+  check_int "one shrink event per violation"
+    (List.length result.Campaign.violations)
+    (count (fun e ->
+         match e.Obs.payload with Obs.Violation_shrunk _ -> true | _ -> false));
+  (* verdict events arrive in trial order whatever the pool did *)
+  let verdict_trials =
+    List.filter_map
+      (fun e ->
+        match e.Obs.payload with
+        | Obs.Trial_verdict { trial; _ } -> Some trial
+        | _ -> None)
+      events
+  in
+  check_bool "trial order" true (verdict_trials = List.init 10 Fun.id);
+  let counters = Obs.Registry.counters (Obs.registry obs) in
+  let counter name = List.assoc_opt name counters in
+  check_bool "campaign.trials" true (counter "campaign.trials" = Some 10);
+  check_bool "campaign.violations" true
+    (counter "campaign.violations"
+    = Some (List.length result.Campaign.violations));
+  check_bool "cache counters exported" true
+    (counter "campaign.plan_cache_misses" = Some result.Campaign.cache_misses)
+
+(* --- artifacts ------------------------------------------------------- *)
+
+let test_flat_json_parses_verdicts () =
+  let spec = Campaign.spec ~trials:4 ~seed:7 ~shrink:false () in
+  let result = Campaign.run ~jobs:1 spec in
+  List.iter
+    (fun v ->
+      match Campaign.Flat_json.parse (Campaign.verdict_json v) with
+      | Error m -> Alcotest.failf "verdict line unparseable: %s" m
+      | Ok fields ->
+        check_bool "has trial" true
+          (match List.assoc_opt "trial" fields with
+          | Some (Campaign.Flat_json.Int _) -> true
+          | _ -> false);
+        check_bool "has verdict" true
+          (match List.assoc_opt "verdict" fields with
+          | Some (Campaign.Flat_json.Str _) -> true
+          | _ -> false))
+    result.Campaign.verdicts
+
+let test_flat_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "reject %S" s) true
+        (Result.is_error (Campaign.Flat_json.parse s)))
+    [ ""; "{"; "{\"a\":}"; "{\"a\":1,}"; "{\"a\":1}x"; "[1]"; "{\"a\":{}}" ]
+
+let test_flat_json_escapes () =
+  match Campaign.Flat_json.parse "{\"s\":\"a\\\"b\\n\\u0041\",\"n\":-3,\"b\":true}" with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok fields ->
+    check_bool "string unescaped" true
+      (List.assoc_opt "s" fields = Some (Campaign.Flat_json.Str "a\"b\nA"));
+    check_bool "negative int" true
+      (List.assoc_opt "n" fields = Some (Campaign.Flat_json.Int (-3)));
+    check_bool "bool" true
+      (List.assoc_opt "b" fields = Some (Campaign.Flat_json.Bool true))
+
+let test_report_renders () =
+  let spec = Campaign.spec ~trials:10 ~seed:7 () in
+  let result = Campaign.run ~jobs:1 spec in
+  let lines = Campaign.result_json_lines result in
+  check_int "header + verdicts + violations + summary"
+    (1 + 10 + List.length result.Campaign.violations + 1)
+    (List.length lines);
+  match Campaign.render_report lines with
+  | Error m -> Alcotest.failf "render failed: %s" m
+  | Ok report ->
+    check_bool "mentions totals" true (contains ~sub:"10 trials" report);
+    check_bool "mentions fingerprint" true
+      (contains ~sub:(Campaign.fingerprint result) report)
+
+let test_report_rejects_garbage () =
+  check_bool "malformed line" true
+    (Result.is_error (Campaign.render_report [ "{\"trial\":" ]))
+
+let suite =
+  [
+    Alcotest.test_case "grid cross product" `Quick test_grid_cross_product;
+    Alcotest.test_case "grid validation" `Quick test_grid_validation;
+    Alcotest.test_case "compile is deterministic" `Quick test_compile_deterministic;
+    Alcotest.test_case "trial_of_index = compile !! i" `Quick test_trial_of_index;
+    Alcotest.test_case "scripts respect f and horizon" `Quick test_scripts_respect_f;
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip_known;
+    Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_jobs_invariant;
+    Alcotest.test_case "full artifact jobs-invariant" `Quick
+      test_full_artifact_jobs_invariant;
+    Alcotest.test_case "shrunk violations replay" `Quick test_shrunk_violations_replay;
+    Alcotest.test_case "plan cache shared across trials" `Quick test_plan_cache_shared;
+    Alcotest.test_case "plan_key semantics" `Quick test_plan_key_semantics;
+    Alcotest.test_case "shrinker minimizes known violation" `Quick
+      test_shrinker_minimizes_known_violation;
+    Alcotest.test_case "shrink budget 0 keeps script" `Quick
+      test_shrink_budget_zero_keeps_script;
+    Alcotest.test_case "shrinker drops noise (unit)" `Quick test_shrinker_unit;
+    Alcotest.test_case "shrinker weakens parameters" `Quick test_shrinker_weakens_params;
+    Alcotest.test_case "obs events and counters" `Quick test_obs_events_and_counters;
+    Alcotest.test_case "flat json parses verdicts" `Quick test_flat_json_parses_verdicts;
+    Alcotest.test_case "flat json rejects garbage" `Quick test_flat_json_rejects_garbage;
+    Alcotest.test_case "flat json unescapes" `Quick test_flat_json_escapes;
+    Alcotest.test_case "report renders" `Quick test_report_renders;
+    Alcotest.test_case "report rejects garbage" `Quick test_report_rejects_garbage;
+  ]

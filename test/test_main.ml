@@ -18,6 +18,7 @@ let () =
       ("check", Test_check.suite);
       ("lint", Test_lint.suite);
       ("core", Test_core.suite);
+      ("campaign", Test_campaign.suite);
       ("runtime", Test_runtime.suite);
       ("baselines", Test_baselines.suite);
     ]

@@ -75,6 +75,27 @@ let test_event_json () =
       (Obs.event_to_json staged)
   | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
 
+let test_campaign_event_json () =
+  let obs = Obs.with_memory () in
+  Obs.emit obs ~at:Time.zero Obs.Campaign
+    (Obs.Campaign_started { trials = 50; configs = 4 });
+  Obs.emit obs ~at:Time.zero Obs.Campaign
+    (Obs.Trial_verdict { trial = 7; verdict = "violation" });
+  Obs.emit obs ~at:Time.zero Obs.Campaign
+    (Obs.Violation_shrunk { trial = 7; events_before = 5; events_after = 1 });
+  match Obs.events obs with
+  | [ started; verdict; shrunk ] ->
+    check_str "campaign-started json"
+      {|{"t":0,"seq":0,"sub":"campaign","ev":"campaign-started","trials":50,"configs":4}|}
+      (Obs.event_to_json started);
+    check_str "trial-verdict json"
+      {|{"t":0,"seq":1,"sub":"campaign","ev":"trial-verdict","trial":7,"verdict":"violation"}|}
+      (Obs.event_to_json verdict);
+    check_str "violation-shrunk json"
+      {|{"t":0,"seq":2,"sub":"campaign","ev":"violation-shrunk","trial":7,"before":5,"after":1}|}
+      (Obs.event_to_json shrunk)
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l)
+
 (* End-to-end: the demo deployment's trace *)
 
 let demo_trace seed =
@@ -130,6 +151,7 @@ let suite =
     ("null contexts disabled", `Quick, test_null_disabled);
     ("memory ring keeps newest", `Quick, test_memory_ring);
     ("event json encoding", `Quick, test_event_json);
+    ("campaign event json encoding", `Quick, test_campaign_event_json);
     ("demo trace deterministic per seed", `Quick, test_demo_trace_deterministic);
     ("demo trace covers subsystems", `Quick, test_demo_trace_covers_subsystems);
     ("counters accumulate with null sink", `Quick, test_demo_counters);

@@ -310,6 +310,59 @@ let prop_random_workloads_plan_and_validate =
             = Ok ())
           (Planner.all_plans s))
 
+(* config_key: the serialization campaigns key their plan cache on *)
+
+let test_config_key_total () =
+  let base = Planner.default_config ~f:1 ~recovery_bound:(Time.ms 200) in
+  Alcotest.(check string)
+    "equal configs, equal keys"
+    (Planner.config_key base)
+    (Planner.config_key { base with Planner.f = 1 });
+  (* two closures with the same meaning must agree through the key,
+     which is the whole point: closures themselves are incomparable *)
+  let t1 c = { c with Planner.protect_level = Task.High } in
+  let t2 c = { c with Planner.protect_level = Task.High } in
+  Alcotest.(check string) "tune closures compare via key"
+    (Planner.config_key (t1 base))
+    (Planner.config_key (t2 base));
+  let distinct =
+    [
+      { base with Planner.f = 2 };
+      { base with Planner.recovery_bound = Time.ms 100 };
+      { base with Planner.protect_level = Task.Safety_critical };
+      { base with Planner.degree = 3 };
+      { base with Planner.reassignment = Planner.Naive };
+      { base with
+        Planner.shares = Some { Btr_net.Net.data_frac = 0.35; control_frac = 0.02 }
+      };
+    ]
+  in
+  let keys = List.map Planner.config_key (base :: distinct) in
+  Alcotest.(check int)
+    "every varied field changes the key"
+    (List.length keys)
+    (List.length (List.sort_uniq String.compare keys))
+
+let test_resolved_config_applies_tune () =
+  let spec =
+    Btr.Scenario.spec
+      ~workload:(Generators.avionics ~n_nodes:6)
+      ~topology:(topo6 ()) ~f:1 ~recovery_bound:(Time.ms 200)
+      ~tune:(fun c -> { c with Planner.protect_level = Task.High })
+      ()
+  in
+  let cfg = Btr.Scenario.resolved_config spec in
+  Alcotest.(check bool)
+    "tune applied" true
+    (cfg.Planner.protect_level = Task.High);
+  Alcotest.(check string)
+    "resolved key matches hand-tuned key"
+    (Planner.config_key
+       { (Planner.default_config ~f:1 ~recovery_bound:(Time.ms 200)) with
+         Planner.protect_level = Task.High
+       })
+    (Planner.config_key cfg)
+
 let suite =
   [
     ("augment: task counts", `Quick, test_augment_counts);
@@ -329,5 +382,7 @@ let suite =
     ("bad configs rejected", `Quick, test_bad_configs_rejected);
     ("disconnection detected", `Quick, test_disconnection_detected);
     ("unschedulable workloads detected", `Quick, test_unschedulable_detected);
+    ("config_key is total and injective on fields", `Quick, test_config_key_total);
+    ("scenario resolved_config applies tune", `Quick, test_resolved_config_applies_tune);
     QCheck_alcotest.to_alcotest prop_random_workloads_plan_and_validate;
   ]

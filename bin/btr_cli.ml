@@ -298,7 +298,7 @@ let rec map_result f = function
     | Ok y -> ( match map_result f xs with Error _ as e -> e | Ok ys -> Ok (y :: ys)))
 
 let grid_of workloads topologies node_counts fault_bounds r_ms bandwidths protects
-    shares =
+    shares classes =
   match map_result criticality_of_name protects with
   | Error m -> Error m
   | Ok protect_levels -> (
@@ -315,6 +315,7 @@ let grid_of workloads topologies node_counts fault_bounds r_ms bandwidths protec
           bandwidths;
           protect_levels;
           control_shares;
+          classes;
         }
       in
       match Campaign.validate_grid g with Error m -> Error m | Ok () -> Ok g))
@@ -336,9 +337,10 @@ let list_opt ~names ~default ~docv ~doc cv =
 let campaign_run_cmd =
   let doc = "Run a randomized fault-injection campaign over a parameter grid." in
   let run workloads topologies node_counts fault_bounds r_ms bandwidths protects
-      shares trials seed jobs json_file no_shrink shrink_budget trace metrics =
+      shares classes trials seed jobs json_file no_shrink shrink_budget trace
+      metrics =
     match grid_of workloads topologies node_counts fault_bounds r_ms bandwidths
-            protects shares
+            protects shares classes
     with
     | Error m -> usage_error m
     | Ok grid ->
@@ -404,6 +406,14 @@ let campaign_run_cmd =
       ~doc:"Control bandwidth shares to cross: floats in (0, 0.6], or 'default'."
       Arg.string
   in
+  let classes =
+    list_opt ~names:[ "classes" ] ~default:Campaign.known_classes ~docv:"LIST"
+      ~doc:
+        "Fault classes the schedule generator may draw: crash, omit, omitto, \
+         delay, corrupt, equivocate, babble. Restricting the list focuses the \
+         campaign (e.g. --classes omitto for selective-omission conformance)."
+      Arg.string
+  in
   let trials =
     Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Number of trials to run.")
   in
@@ -433,8 +443,8 @@ let campaign_run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workloads $ topologies $ node_counts $ fault_bounds $ r_ms
-      $ bandwidths $ protects $ shares $ trials $ seed_arg $ jobs $ json_file
-      $ no_shrink $ shrink_budget $ trace_arg $ metrics_arg)
+      $ bandwidths $ protects $ shares $ classes $ trials $ seed_arg $ jobs
+      $ json_file $ no_shrink $ shrink_budget $ trace_arg $ metrics_arg)
 
 let read_lines file =
   let ic = open_in file in

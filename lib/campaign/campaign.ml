@@ -52,7 +52,11 @@ type grid = {
   bandwidths : int list;
   protect_levels : Task.criticality list;
   control_shares : float option list;
+  classes : string list;
 }
+
+let known_classes =
+  [ "crash"; "omit"; "omitto"; "delay"; "corrupt"; "equivocate"; "babble" ]
 
 let default_grid =
   {
@@ -64,6 +68,7 @@ let default_grid =
     bandwidths = [ default_params.bandwidth_bps ];
     protect_levels = [ default_params.protect ];
     control_shares = [ default_params.control_share ];
+    classes = known_classes;
   }
 
 let grid_params g =
@@ -117,6 +122,14 @@ let validate_grid g =
   let* () = nonempty "bandwidth" g.bandwidths in
   let* () = nonempty "protect" g.protect_levels in
   let* () = nonempty "control-share" g.control_shares in
+  let* () = nonempty "classes" g.classes in
+  let* () =
+    match
+      List.find_opt (fun c -> not (List.mem c known_classes)) g.classes
+    with
+    | Some c -> err "unknown fault class %S" c
+    | None -> Ok ()
+  in
   match List.find_opt (fun w -> not (List.mem w known_workloads)) g.workloads with
   | Some w -> err "unknown workload %S" w
   | None -> (
@@ -216,22 +229,43 @@ let draw_list n f =
   let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
   go 0 []
 
-let gen_behavior rng ~nodes ~node ~period =
-  match Rng.int rng 8 with
-  | 0 -> Fault.Crash
-  | 1 -> Fault.Omit_outputs
-  | 2 ->
+let behavior_of_class rng ~nodes ~node ~period cls =
+  match cls with
+  | "crash" -> Fault.Crash
+  | "omit" -> Fault.Omit_outputs
+  | "omitto" ->
     let others = List.filter (fun x -> x <> node) (List.init nodes Fun.id) in
     if others = [] then Fault.Omit_outputs
     else
       let m = 1 + Rng.int rng (Stdlib.max 1 (List.length others / 2)) in
       Fault.Omit_to (List.sort Int.compare (Rng.sample rng m others))
-  | 3 -> Fault.Delay_outputs (Time.us (Rng.int_in rng 500 (2 * period)))
-  | 4 | 5 -> Fault.Corrupt_outputs
-  | 6 -> Fault.Equivocate
-  | _ -> Fault.Babble { bogus_per_period = Rng.int_in rng 2 8 }
+  | "delay" -> Fault.Delay_outputs (Time.us (Rng.int_in rng 500 (2 * period)))
+  | "equivocate" -> Fault.Equivocate
+  | "babble" -> Fault.Babble { bogus_per_period = Rng.int_in rng 2 8 }
+  | _ -> Fault.Corrupt_outputs
 
-let gen_script rng ~nodes ~f ~r ~period =
+(* The full-palette draw keeps the historical 8-way stream (corrupt is
+   double-weighted) so seeded fixtures stay stable; a restricted
+   [classes] axis draws uniformly over the listed classes. Sub-draws
+   (omit-to target sets, delay magnitudes, babble rates) are shared, so
+   identical (seed, index) pairs agree wherever both palettes can
+   produce the same class. *)
+let gen_behavior rng ~classes ~nodes ~node ~period =
+  let cls =
+    if List.equal String.equal classes known_classes then
+      match Rng.int rng 8 with
+      | 0 -> "crash"
+      | 1 -> "omit"
+      | 2 -> "omitto"
+      | 3 -> "delay"
+      | 4 | 5 -> "corrupt"
+      | 6 -> "equivocate"
+      | _ -> "babble"
+    else List.nth classes (Rng.int rng (List.length classes))
+  in
+  behavior_of_class rng ~nodes ~node ~period cls
+
+let gen_script rng ~classes ~nodes ~f ~r ~period =
   if f <= 0 then []
   else begin
     let k = 1 + Rng.int rng f in
@@ -240,7 +274,7 @@ let gen_script rng ~nodes ~f ~r ~period =
     let events =
       if Rng.int rng 10 < 3 then begin
         (* The §3 adversary: a fresh fault roughly every R. *)
-        let behavior = gen_behavior rng ~nodes ~node:(-1) ~period in
+        let behavior = gen_behavior rng ~classes ~nodes ~node:(-1) ~period in
         let gap =
           Time.max period (Time.add r (Time.sub (Time.us (Rng.int rng period)) (Time.div period 2)))
         in
@@ -254,7 +288,7 @@ let gen_script rng ~nodes ~f ~r ~period =
                 {
                   Fault.at = Time.add start (Time.us (Rng.int rng (Time.mul period 16)));
                   node;
-                  behavior = gen_behavior rng ~nodes ~node ~period;
+                  behavior = gen_behavior rng ~classes ~nodes ~node ~period;
                 }))
           victims
     in
@@ -273,11 +307,13 @@ let horizon_for ~period ~r script =
    which worker ran what. *)
 let trial_rng ~seed i = Rng.create (seed lxor ((i + 1) * 0x2545F4914F6CDD1D))
 
-let make_trial ~seed ~configs i =
+let make_trial ~seed ~classes ~configs i =
   let n_cfg = Array.length configs in
   let params, period = configs.(i mod n_cfg) in
   let rng = trial_rng ~seed i in
-  let script = gen_script rng ~nodes:params.nodes ~f:params.f ~r:params.r ~period in
+  let script =
+    gen_script rng ~classes ~nodes:params.nodes ~f:params.f ~r:params.r ~period
+  in
   let runtime_seed = Rng.int rng 0x3FFFFFFF in
   {
     index = i;
@@ -294,12 +330,15 @@ let config_array spec =
 let compile spec =
   let configs = config_array spec in
   if Array.length configs = 0 then []
-  else draw_list spec.trials (make_trial ~seed:spec.seed ~configs)
+  else
+    draw_list spec.trials
+      (make_trial ~seed:spec.seed ~classes:spec.grid.classes ~configs)
 
 let trial_of_index spec i =
   let configs = config_array spec in
   if i < 0 || i >= spec.trials || Array.length configs = 0 then None
-  else Some (make_trial ~seed:spec.seed ~configs i)
+  else
+    Some (make_trial ~seed:spec.seed ~classes:spec.grid.classes ~configs i)
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)

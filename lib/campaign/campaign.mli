@@ -62,18 +62,30 @@ type grid = {
   bandwidths : int list;
   protect_levels : Task.criticality list;
   control_shares : float option list;
+  classes : string list;
+      (** fault classes the schedule generator may draw from (subset of
+          {!known_classes}). Not part of the config cross product — it
+          restricts behavior generation for every trial. With the full
+          default palette the generator keeps its historical weighted
+          draw (seeded fixtures stay stable); any restriction switches
+          to a uniform draw over the listed classes. *)
 }
 
+val known_classes : string list
+(** [["crash"; "omit"; "omitto"; "delay"; "corrupt"; "equivocate";
+    "babble"]] — the generator's full palette, in draw order. *)
+
 val default_grid : grid
-(** Every axis a singleton of {!default_params}'s value. *)
+(** Every config axis a singleton of {!default_params}'s value;
+    [classes] is {!known_classes}. *)
 
 val grid_params : grid -> params list
 (** The cross product, in a deterministic order (axes vary slowest to
     fastest in declaration order). Empty axes yield an empty list. *)
 
 val validate_grid : grid -> (unit, string) result
-(** Rejects empty axes, unknown workload/topology names, and
-    non-positive counts/bounds, so usage errors surface before any
+(** Rejects empty axes, unknown workload/topology/fault-class names,
+    and non-positive counts/bounds, so usage errors surface before any
     planning happens. *)
 
 (** {1 Campaign specs and trials} *)

@@ -24,6 +24,8 @@ type code =
   | Transition_missing
   | Recovery_bound_exceeded
   | Recovery_bound_understated
+  | Selective_omission_undetectable
+  | Omission_needs_corroboration
   | Transition_target_unknown
   | Orphan_mode
   | Evidence_unroutable
@@ -41,6 +43,8 @@ let all_codes =
     Transition_missing;
     Recovery_bound_exceeded;
     Recovery_bound_understated;
+    Selective_omission_undetectable;
+    Omission_needs_corroboration;
     Transition_target_unknown;
     Orphan_mode;
     Evidence_unroutable;
@@ -58,6 +62,8 @@ let code_id = function
   | Transition_missing -> "BTR-E302"
   | Recovery_bound_exceeded -> "BTR-E303"
   | Recovery_bound_understated -> "BTR-W304"
+  | Selective_omission_undetectable -> "BTR-E305"
+  | Omission_needs_corroboration -> "BTR-W306"
   | Transition_target_unknown -> "BTR-E401"
   | Orphan_mode -> "BTR-E402"
   | Evidence_unroutable -> "BTR-E403"
@@ -68,11 +74,12 @@ let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes
 let severity_of = function
   | Link_oversubscribed | Data_reserve_exceeded | Node_overutilized
   | Schedule_invalid | Mode_missing | Transition_missing
-  | Recovery_bound_exceeded | Transition_target_unknown | Orphan_mode
-  | Evidence_unroutable ->
+  | Recovery_bound_exceeded | Selective_omission_undetectable
+  | Transition_target_unknown | Orphan_mode | Evidence_unroutable ->
     Error
   | Control_reserve_tight | Response_time_divergent
-  | Recovery_bound_understated | Evidence_budget_dominant ->
+  | Recovery_bound_understated | Omission_needs_corroboration
+  | Evidence_budget_dominant ->
     Warning
 
 let describe = function
@@ -94,6 +101,10 @@ let describe = function
     "every transition's recovery bound must fit inside R (Def. 3.1)"
   | Recovery_bound_understated ->
     "stored recovery bounds must cover detection + evidence + migration + activation (§4.4)"
+  | Selective_omission_undetectable ->
+    "a sender omitting toward a minimal watcher subset must still be caught within R under the configured strike threshold (Def. 3.1, §4.2)"
+  | Omission_needs_corroboration ->
+    "selective omission on this config is caught within R only by multi-watcher corroboration, not by any single watchdog (§4.2)"
   | Transition_target_unknown -> "transitions must connect known modes (§4.4)"
   | Orphan_mode -> "every mode must be reachable from the fault-free root (§4.4)"
   | Evidence_unroutable ->
@@ -553,6 +564,285 @@ let check_coverage v push =
     patterns;
   List.length patterns
 
+(* (c') Selective omission (the §4.2 gap): a faulty sender need not go
+   silent toward everyone — omitting toward a carefully chosen minority
+   of watchers can starve every lane of a protected output while each
+   individual watchdog stays below its declaration threshold. This
+   check enumerates, per mode and per candidate sender F, the minimal
+   set of watcher hosts F must omit toward to cut every live lane of
+   each protected sink flow, and bounds the resulting detection time
+   two ways: the direct path (one watcher sustains [strikes]
+   consecutive missed sweeps, declares, and the suspect-path cover
+   evicts F) and the corroboration path (when the minimal cut already
+   touches >= f+1 watchers, their first-sweep suspicions corroborate).
+   Scope: only direct sender cuts are modeled — F omitting as a relay
+   on someone else's route (ring topologies) is a documented
+   limitation, kept out so that relay topologies are not rejected for
+   patterns the campaign generator cannot produce either. *)
+
+type omission_witness = {
+  ow_mode : int list;  (* the plan's faulty set the sender attacks from *)
+  ow_sender : int;
+  ow_targets : int list;  (* minimal watcher hosts to omit toward *)
+  ow_flow : int;  (* original sink flow starved *)
+  ow_watchers : int;  (* = List.length ow_targets *)
+}
+
+(* Smallest subset of [List.concat sets] hitting every set, smallest
+   then lexicographically first; sets must be nonempty. *)
+let min_hitting_set sets =
+  let candidates = List.sort_uniq Int.compare (List.concat sets) in
+  let rec combos k lst =
+    if k = 0 then [ [] ]
+    else
+      match lst with
+      | [] -> []
+      | x :: rest -> List.map (fun c -> x :: c) (combos (k - 1) rest) @ combos k rest
+  in
+  let hits w set = List.exists (fun x -> List.mem x w) set in
+  let rec try_k k =
+    if k > List.length candidates then None
+    else
+      match
+        List.find_opt
+          (fun w -> List.for_all (hits w) sets)
+          (combos k candidates)
+      with
+      | Some w -> Some w
+      | None -> try_k (k + 1)
+  in
+  try_k 1
+
+let protected_sink_flows v =
+  let level = v.config.Planner.protect_level in
+  List.filter
+    (fun (fl : Graph.flow) ->
+      let producer = Graph.task v.workload fl.producer in
+      Task.compare_criticality producer.Task.criticality level >= 0)
+    (Graph.sink_flows v.workload)
+
+(* Per (plan, sender) worst flow the sender can starve by selective
+   omission, with its minimal watcher cut and both detection bounds. *)
+type omission_case = {
+  oc_plan : Planner.plan;
+  oc_sender : int;
+  oc_flow : int;
+  oc_targets : int list;
+  oc_direct : Time.t;  (* detection via one watcher reaching [strikes] *)
+  oc_corro : Time.t option;  (* via corroboration, when the cut >= f+1 *)
+  oc_fatal : bool;  (* no path fits inside R *)
+}
+
+let selective_omission_cases v ~strikes =
+  let r = v.config.Planner.recovery_bound in
+  let f = v.config.Planner.f in
+  let threshold = f + 1 in
+  let transition_for ~from_faulty ~new_fault =
+    List.find_opt
+      (fun (tr : Planner.transition) ->
+        tr.Planner.from_faulty = key from_faulty && tr.Planner.new_fault = new_fault)
+      v.transitions
+  in
+  let sink_flows = protected_sink_flows v in
+  let cases = ref [] in
+  List.iter
+    (fun (p : Planner.plan) ->
+      if List.length p.Planner.faulty < f then begin
+        let aug = p.Planner.aug in
+        let g = aug.Augment.graph in
+        let host tid = List.assoc_opt tid p.Planner.assignment in
+        (* Live lane chains per protected original sink flow: the
+           delivery hop plus the transitive producer closure behind it,
+           all assigned in this mode. *)
+        let chains_of (orig_fl : Graph.flow) =
+          List.filter_map
+            (fun (fl : Graph.flow) ->
+              match Augment.orig_flow_of aug fl.flow_id with
+              | Some (ofid, _) when ofid = orig_fl.Graph.flow_id ->
+                if Augment.orig_of aug fl.consumer <> orig_fl.Graph.consumer then
+                  None
+                else begin
+                  let closure = Hashtbl.create 16 in
+                  let rec go tid =
+                    if not (Hashtbl.mem closure tid) then begin
+                      Hashtbl.replace closure tid ();
+                      List.iter
+                        (fun (pf : Graph.flow) -> go pf.producer)
+                        (Graph.producers_of g tid)
+                    end
+                  in
+                  go fl.producer;
+                  let live =
+                    host fl.consumer <> None
+                    && Table.sorted_fold ~cmp:Int.compare
+                         (fun tid () acc -> acc && host tid <> None)
+                         closure true
+                  in
+                  if not live then None
+                  else
+                    let hops =
+                      fl
+                      :: List.filter
+                           (fun (hf : Graph.flow) -> Hashtbl.mem closure hf.consumer)
+                           (Graph.flows g)
+                    in
+                    Some hops
+                end
+              | _ -> None)
+            (Graph.flows g)
+        in
+        let alive = alive_of v p.Planner.faulty in
+        List.iter
+          (fun sender ->
+            match transition_for ~from_faulty:p.Planner.faulty ~new_fault:sender with
+            | None -> () (* E302 owns the missing transition *)
+            | Some tr ->
+              let period = Graph.period g in
+              (* Mirror the runtime watchdog margin: configured margin
+                 plus a tenth of a period of queueing slack. *)
+              let margin =
+                Time.add v.config.Planner.detection_margin (Time.div period 10)
+              in
+              let faulty' = key (sender :: p.Planner.faulty) in
+              let evb = evidence_bound v ~faulty:faulty' in
+              let base =
+                Time.add
+                  (Time.add margin evb)
+                  (Time.add tr.Planner.migration_bound (Time.mul period 2))
+              in
+              let direct = Time.add (Time.mul period strikes) base in
+              let corro = Time.add period base in
+              (* Worst flow for this sender: prefer a fatal one. *)
+              let worst = ref None in
+              List.iter
+                (fun (orig_fl : Graph.flow) ->
+                  match !worst with
+                  | Some (_, _, true) -> ()
+                  | _ -> (
+                    match chains_of orig_fl with
+                    | [] -> () (* flow not carried in this mode: shed *)
+                    | chains ->
+                      let cuts =
+                        List.map
+                          (fun hops ->
+                            List.sort_uniq Int.compare
+                              (List.filter_map
+                                 (fun (hf : Graph.flow) ->
+                                   match (host hf.producer, host hf.consumer) with
+                                   | Some ph, Some ch
+                                     when ph = sender && ch <> sender ->
+                                     Some ch
+                                   | _ -> None)
+                                 hops))
+                          chains
+                      in
+                      if List.for_all (fun c -> c <> []) cuts then
+                        match min_hitting_set cuts with
+                        | None -> ()
+                        | Some targets ->
+                          let m = List.length targets in
+                          let corro_applies = m >= threshold in
+                          let detectable =
+                            Time.compare direct r <= 0
+                            || (corro_applies && Time.compare corro r <= 0)
+                          in
+                          let fatal = not detectable in
+                          let needs_corro =
+                            detectable && Time.compare direct r > 0
+                          in
+                          if fatal || needs_corro then
+                            let better =
+                              match !worst with
+                              | None -> true
+                              | Some (_, _, was_fatal) -> fatal && not was_fatal
+                            in
+                            if better then
+                              worst :=
+                                Some
+                                  ( orig_fl.Graph.flow_id,
+                                    (targets, corro_applies),
+                                    fatal )))
+                sink_flows;
+              (match !worst with
+              | None -> ()
+              | Some (flow, (targets, corro_applies), fatal) ->
+                cases :=
+                  {
+                    oc_plan = p;
+                    oc_sender = sender;
+                    oc_flow = flow;
+                    oc_targets = targets;
+                    oc_direct = direct;
+                    oc_corro = (if corro_applies then Some corro else None);
+                    oc_fatal = fatal;
+                  }
+                  :: !cases))
+          alive
+      end)
+    v.plans;
+  List.rev !cases
+
+let check_selective_omission v ~strikes push =
+  let r = v.config.Planner.recovery_bound in
+  List.iter
+    (fun c ->
+      let p = c.oc_plan in
+      if c.oc_fatal then
+        push
+          {
+            code = Selective_omission_undetectable;
+            message =
+              Format.asprintf
+                "node %d can starve flow %d by omitting toward %a (%d watcher%s, \
+                 strikes=%d): detection needs %a > R = %a"
+                c.oc_sender c.oc_flow pp_fault_set c.oc_targets
+                (List.length c.oc_targets)
+                (if List.length c.oc_targets = 1 then "" else "s")
+                strikes Time.pp c.oc_direct Time.pp r;
+            locus =
+              {
+                no_locus with
+                faulty = Some p.Planner.faulty;
+                node = Some c.oc_sender;
+                flow = Some c.oc_flow;
+              };
+          }
+      else
+        push
+          {
+            code = Omission_needs_corroboration;
+            message =
+              Format.asprintf
+                "node %d starving flow %d (omitting toward %a) is caught within \
+                 R = %a only by %d-watcher corroboration (single-watchdog \
+                 detection needs %a)"
+                c.oc_sender c.oc_flow pp_fault_set c.oc_targets Time.pp r
+                (List.length c.oc_targets) Time.pp c.oc_direct;
+            locus =
+              {
+                no_locus with
+                faulty = Some p.Planner.faulty;
+                node = Some c.oc_sender;
+                flow = Some c.oc_flow;
+              };
+          })
+    (selective_omission_cases v ~strikes)
+
+let selective_omission_witnesses ?(strikes = 1) v =
+  List.filter_map
+    (fun c ->
+      if c.oc_fatal then
+        Some
+          {
+            ow_mode = c.oc_plan.Planner.faulty;
+            ow_sender = c.oc_sender;
+            ow_targets = c.oc_targets;
+            ow_flow = c.oc_flow;
+            ow_watchers = List.length c.oc_targets;
+          }
+      else None)
+    (selective_omission_cases v ~strikes)
+
 (* (d) Mode-graph sanity: transitions connect known modes, every mode
    is reachable from the fault-free root, evidence can flood in every
    mode, and its bound leaves room for the rest of the recovery. *)
@@ -644,7 +934,7 @@ let check_mode_graph v push =
 
 (* ------------------------------------------------------------------ *)
 
-let verify_view ?(obs = Obs.null) v =
+let verify_view ?(obs = Obs.null) ?(strikes = 1) v =
   let rev = ref [] in
   let push d = rev := d :: !rev in
   check_link_capacity v push;
@@ -652,6 +942,7 @@ let verify_view ?(obs = Obs.null) v =
   check_control_reserves v push;
   check_schedulability v push;
   let fault_sets = check_coverage v push in
+  check_selective_omission v ~strikes push;
   check_mode_graph v push;
   let diagnostics =
     let all = List.rev !rev in
@@ -680,7 +971,7 @@ let verify_view ?(obs = Obs.null) v =
       report.diagnostics;
   report
 
-let verify ?obs s = verify_view ?obs (view_of_strategy s)
+let verify ?obs ?strikes s = verify_view ?obs ?strikes (view_of_strategy s)
 
 let to_planner_error r =
   if passed r then None

@@ -66,6 +66,16 @@ type code =
       (** BTR-W304: a stored recovery bound is smaller than the
           detection + evidence + migration + activation decomposition
           recomputed from first principles *)
+  | Selective_omission_undetectable
+      (** BTR-E305: a sender can starve a protected sink flow by
+          omitting toward a minimal watcher subset, and neither the
+          per-watcher strike path nor multi-watcher corroboration
+          detects it within R (§4.2 selective omission) *)
+  | Omission_needs_corroboration
+      (** BTR-W306: selective omission on this configuration is caught
+          within R only because the minimal cut spans ≥ f+1 watchers
+          whose sub-threshold suspicions corroborate — no single
+          watchdog reaches its strike threshold in time *)
   | Transition_target_unknown
       (** BTR-E401: a transition names a mode that has no plan *)
   | Orphan_mode
@@ -126,11 +136,33 @@ type view = {
 
 val view_of_strategy : Planner.t -> view
 
-val verify_view : ?obs:Btr_obs.Obs.t -> view -> report
-(** Runs every check. Each diagnostic is also emitted on [obs] (default
-    null) as a [Check_diagnostic] event at simulated time 0. *)
+(** A concrete attack the selective-omission check could not rule out:
+    from the mode running with [ow_mode] faulty, node [ow_sender]
+    omitting toward exactly the hosts in [ow_targets] starves original
+    sink flow [ow_flow] without any detection path fitting in R. The
+    conformance suite replays these as [Omit_to] schedules past the
+    admission gate to confirm each rejection is genuine. *)
+type omission_witness = {
+  ow_mode : int list;
+  ow_sender : int;
+  ow_targets : int list;
+  ow_flow : int;
+  ow_watchers : int;  (** [List.length ow_targets] *)
+}
 
-val verify : ?obs:Btr_obs.Obs.t -> Planner.t -> report
+val selective_omission_witnesses : ?strikes:int -> view -> omission_witness list
+(** One witness per BTR-E305 diagnostic {!verify_view} would raise,
+    in the same order. [strikes] (default 1) is the watchdog
+    declaration threshold the runtime will be configured with. *)
+
+val verify_view : ?obs:Btr_obs.Obs.t -> ?strikes:int -> view -> report
+(** Runs every check. [strikes] (default 1) is the runtime watchdog's
+    consecutive-miss declaration threshold, used by the
+    selective-omission analysis (BTR-E305/W306). Each diagnostic is
+    also emitted on [obs] (default null) as a [Check_diagnostic] event
+    at simulated time 0. *)
+
+val verify : ?obs:Btr_obs.Obs.t -> ?strikes:int -> Planner.t -> report
 (** [verify_view] of [view_of_strategy]. *)
 
 val to_planner_error : report -> Planner.error option

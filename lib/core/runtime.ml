@@ -170,7 +170,10 @@ let create ?(config = default_config) ?(behaviors = []) ?(script = []) ?obs
           watchdog =
             Detect.Watchdog.create ~node:id ~margin
               ~strikes:config.omission_strikes ~obs ();
-          attribution = Detect.Attribution.create ~threshold:(f + 1);
+          attribution =
+            Detect.Attribution.create
+              ~window:(max 2 (2 * config.omission_strikes))
+              ~threshold:(f + 1) ();
           fault_set = Modeswitch.Fault_set.create ();
           dist = Evidence.Distributor.create ~node:id ~obs ();
           invalid_by_src = Hashtbl.create 4;
@@ -260,7 +263,9 @@ let flood_record t (n : node) r =
    requested by the old hosts (they run the same deterministic logic);
    activation happens at a period boundary. *)
 let maybe_switch_mode t (n : node) =
-  let target_faulty = Modeswitch.Fault_set.nodes n.fault_set in
+  let target_faulty =
+    Modeswitch.Fault_set.target n.fault_set ~f:(Planner.config t.strategy).Planner.f
+  in
   let current_key = n.plan.Planner.faulty in
   let staged_key =
     match n.pending with Some p -> p.Planner.faulty | None -> current_key
@@ -296,20 +301,64 @@ let maybe_switch_mode t (n : node) =
           (Obs.Mode_staged { faulty = next.Planner.faulty })
 
 (* Apply a fresh, valid statement to the local fault view. Node
-   accusations extend the fault set directly; path declarations feed
-   attribution and only extend it once a node crosses the threshold. *)
+   accusations extend the fault set directly. Omission declarations
+   carry the non-detector endpoint as the suspected sender: they feed
+   attribution (threshold = f+1 distinct counterparties) and also make
+   the path actionable on its own, so [Fault_set.target] can evict a
+   sender that omits toward fewer than f+1 watchers. Sub-threshold
+   suspicions feed corroboration only; timing declarations feed
+   attribution but never drive eviction by themselves (a delayed
+   message needs no workaround — it arrived). *)
 let apply_statement t (n : node) (s : Evidence.statement) =
   if Detect.path_statement_admissible s then begin
     let changed = ref false in
     (match s.accused with
     | Evidence.Node x ->
       if Modeswitch.Fault_set.add_node n.fault_set x then changed := true
-    | Evidence.Path (a, b) ->
-      ignore (Modeswitch.Fault_set.add_path n.fault_set (a, b));
-      List.iter
-        (fun x ->
-          if Modeswitch.Fault_set.add_node n.fault_set x then changed := true)
-        (Detect.Attribution.note_path n.attribution ~a ~b));
+    | Evidence.Path (a, b) -> (
+      let suspect = if s.Evidence.detector = a then b else a in
+      match s.Evidence.fault_class with
+      | Evidence.Omission_suspected -> (
+        match
+          Detect.Attribution.note_suspicion n.attribution ~sender:suspect
+            ~watcher:s.Evidence.detector ~period:s.Evidence.period
+        with
+        | [] -> ()
+        | watchers ->
+          Obs.Counter.incr
+            (Obs.Registry.counter (Obs.registry t.obs) Obs.Detect "corroborations");
+          if Obs.enabled t.obs then
+            Obs.emit t.obs ~at:(Engine.now t.eng) ~node:n.id Obs.Detect
+              (Obs.Corroborated
+                 { sender = suspect; watchers = List.length watchers });
+          (* The corroborated sender is cut off from each corroborating
+             watcher: materialize those paths (suspect = sender) so the
+             cover in [Fault_set.target] can act on them. Attribution is
+             deliberately NOT fed here — each individual observation is
+             still explainable by residual link loss, so framing the
+             sender as a faulty *node* would be unsound; eviction via
+             path cover is a workaround, and a wrong one self-heals. *)
+          List.iter
+            (fun w ->
+              if w <> suspect then
+                if
+                  Modeswitch.Fault_set.add_path ~suspect n.fault_set (suspect, w)
+                then changed := true)
+            watchers)
+      | Evidence.Omission ->
+        if Modeswitch.Fault_set.add_path ~suspect n.fault_set (a, b) then
+          changed := true;
+        List.iter
+          (fun x ->
+            if Modeswitch.Fault_set.add_node n.fault_set x then changed := true)
+          (Detect.Attribution.note_path n.attribution ~a ~b)
+      | Evidence.Wrong_value | Evidence.Timing | Evidence.Equivocation
+      | Evidence.Forged_evidence ->
+        ignore (Modeswitch.Fault_set.add_path n.fault_set (a, b));
+        List.iter
+          (fun x ->
+            if Modeswitch.Fault_set.add_node n.fault_set x then changed := true)
+          (Detect.Attribution.note_path n.attribution ~a ~b)));
     if !changed then begin
       refresh_route_avoid t;
       maybe_switch_mode t n
@@ -486,9 +535,37 @@ let run_compute_task t (n : node) plan tid period =
     gathered;
   let orig = Augment.orig_of aug tid in
   let behavior = Behavior.find t.behaviors orig in
+  (* A lane missing any of its expected original input flows abstains
+     rather than computing from partial inputs: a partial result would
+     be *wrong* yet match the checker's replay of the same partial
+     inbox, poisoning the lane undetectably. Abstention sends Nacks, so
+     downstream watchdogs stay quiet and suspicion stays pinned at the
+     first hop; the sink falls back to an intact sibling lane. *)
+  let missing_required =
+    task.Task.kind = Task.Compute
+    &&
+    let required =
+      List.sort_uniq Int.compare
+        (List.filter_map
+           (fun (fl : Graph.flow) ->
+             match assignment_node plan fl.producer with
+             | Some _ -> Option.map fst (Augment.orig_flow_of aug fl.flow_id)
+             | None -> None)
+           (Graph.producers_of g tid))
+    in
+    let got =
+      List.sort_uniq Int.compare
+        (List.filter_map
+           (fun ((fl : Graph.flow), _, _) ->
+             Option.map fst (Augment.orig_flow_of aug fl.flow_id))
+           gathered)
+    in
+    List.length got < List.length required
+  in
   let output =
     if task.Task.kind = Task.Source then behavior ~period ~inputs
     else if inputs = [] && Graph.producers_of g tid <> [] then None
+    else if missing_required then None
     else behavior ~period ~inputs
   in
   let send_nacks () =
@@ -562,23 +639,48 @@ let run_checker t (n : node) plan tid period =
             match Hashtbl.find_opt t.nodes lane_node with
             | None -> ()
             | Some lane_host ->
-              let lane_inputs =
+              let lane_entries =
                 List.filter_map
                   (fun (lf : Graph.flow) ->
                     match Hashtbl.find_opt lane_host.inbox (lf.flow_id, period) with
                     | Some e -> (
                       match Augment.orig_flow_of aug lf.flow_id with
-                      | Some (orig_flow, _) ->
-                        Some { Behavior.orig_flow; value = e.value }
+                      | Some (orig_flow, _) -> Some (orig_flow, e.value)
                       | None -> None)
                     | None -> None)
                   (Graph.producers_of g lane_tid)
               in
+              let lane_inputs =
+                List.map
+                  (fun (orig_flow, value) -> { Behavior.orig_flow; value })
+                  lane_entries
+              in
+              (* Mirror of the lane's abstention rule: replay must
+                 predict silence exactly when the lane was entitled to
+                 abstain, so a lane that *computed* from partial inputs
+                 is caught (expected = None, it sent anyway) and an
+                 abstaining lane is not accused. *)
+              let lane_missing_required =
+                let lane_required =
+                  List.sort_uniq Int.compare
+                    (List.filter_map
+                       (fun (lf : Graph.flow) ->
+                         match assignment_node plan lf.producer with
+                         | Some _ ->
+                           Option.map fst (Augment.orig_flow_of aug lf.flow_id)
+                         | None -> None)
+                       (Graph.producers_of g lane_tid))
+                in
+                let lane_got =
+                  List.sort_uniq Int.compare (List.map fst lane_entries)
+                in
+                List.length lane_got < List.length lane_required
+              in
               let expected =
                 if
-                  lane_inputs = []
-                  && (Graph.task g lane_tid).Task.kind = Task.Compute
-                  && Graph.producers_of g lane_tid <> []
+                  (Graph.task g lane_tid).Task.kind = Task.Compute
+                  && ((lane_inputs = [] && Graph.producers_of g lane_tid <> [])
+                     || lane_missing_required)
                 then None
                 else behavior ~period ~inputs:lane_inputs
               in
@@ -797,18 +899,51 @@ let install_slots t (n : node) period =
     (Schedule.slots_on plan.Planner.schedule n.id)
 
 let sweep_watchdog t (n : node) =
+  let misses = Detect.Watchdog.sweep n.watchdog ~now:(Engine.now t.eng) in
+  let suspected_this_sweep = Hashtbl.create 4 in
   List.iter
-    (fun (flow, period, from_node) ->
+    (fun (m : Detect.Watchdog.miss) ->
+      let from_node = m.Detect.Watchdog.miss_from in
       if
         Time.compare (Engine.now t.eng) n.grace_until >= 0
         && not (Modeswitch.Fault_set.mem_path n.fault_set (from_node, n.id))
       then
-        emit_evidence t n
-          (statement t n
-             ~accused:(Evidence.path from_node n.id)
-             ~fault_class:Evidence.Omission ~period
-             ~detail:(Printf.sprintf "flow %d never arrived" flow)))
-    (Detect.Watchdog.overdue n.watchdog ~now:(Engine.now t.eng))
+        if m.Detect.Watchdog.declared then
+          emit_evidence t n
+            (statement t n
+               ~accused:(Evidence.path from_node n.id)
+               ~fault_class:Evidence.Omission ~period:m.Detect.Watchdog.miss_period
+               ~detail:
+                 (Printf.sprintf "flow %d never arrived"
+                    m.Detect.Watchdog.miss_flow))
+        else if not (Hashtbl.mem suspected_this_sweep from_node) then begin
+          (* Sub-threshold account: not enough for a declaration on this
+             watcher alone, but f other watchers may be seeing the same
+             silence — publish a suspicion for corroboration, once per
+             sender per sweep. *)
+          Hashtbl.replace suspected_this_sweep from_node ();
+          Obs.Counter.incr
+            (Obs.Registry.counter (Obs.registry t.obs) Obs.Detect
+               "watchdog-suspect");
+          if Obs.enabled t.obs then
+            Obs.emit t.obs ~at:(Engine.now t.eng) ~node:n.id Obs.Detect
+              (Obs.Watchdog_suspect
+                 {
+                   flow = m.Detect.Watchdog.miss_flow;
+                   period = m.Detect.Watchdog.miss_period;
+                   from_node;
+                   account = m.Detect.Watchdog.account;
+                 });
+          emit_evidence t n
+            (statement t n
+               ~accused:(Evidence.path from_node n.id)
+               ~fault_class:Evidence.Omission_suspected
+               ~period:m.Detect.Watchdog.miss_period
+               ~detail:
+                 (Printf.sprintf "flow %d missing, strike %d"
+                    m.Detect.Watchdog.miss_flow m.Detect.Watchdog.account))
+        end)
+    misses
 
 let activate_pending t (n : node) =
   match n.pending with

@@ -59,29 +59,53 @@ let avionics_demo ?(seed = 1) ?obs () =
 let resolved_config s =
   s.tune (Planner.default_config ~f:s.f ~recovery_bound:s.recovery_bound)
 
-let plan s =
+(* The runtime config a deployment will use: the caller's (if any) with
+   the spec's seed, which stays authoritative — campaigns vary it per
+   trial and cache plans across seeds. *)
+let runtime_config ?config s =
+  match config with
+  | Some c -> { c with Runtime.seed = s.seed }
+  | None -> { Runtime.default_config with seed = s.seed }
+
+let plan ?config s =
   let cfg = resolved_config s in
   match Planner.build cfg s.workload s.topology with
   | Error _ as e -> e
   | Ok strategy -> (
     (* Static verification gate (Def. 3.1): an infeasible strategy is
-       rejected with diagnostics instead of being silently simulated. *)
-    let report = Btr_check.Check.verify ?obs:s.obs strategy in
+       rejected with diagnostics instead of being silently simulated.
+       The verifier models the watchdog the runtime will actually
+       deploy, so it needs the configured strike threshold. *)
+    let strikes = (runtime_config ?config s).Runtime.omission_strikes in
+    let report = Btr_check.Check.verify ?obs:s.obs ~strikes strategy in
     match Btr_check.Check.to_planner_error report with
     | None -> Ok strategy
     | Some e -> Error e)
 
-let prepare s =
-  match plan s with
-  | Error e -> Error e
-  | Ok strategy ->
-    let config = { Runtime.default_config with seed = s.seed } in
-    Ok
-      (Runtime.create ~config ~behaviors:s.behaviors ~script:s.script
-         ?obs:s.obs ~strategy ())
+let deploy ?config s strategy =
+  Runtime.create
+    ~config:(runtime_config ?config s)
+    ~behaviors:s.behaviors ~script:s.script ?obs:s.obs ~strategy ()
 
-let run s =
-  match prepare s with
+let prepare ?config s =
+  match plan ?config s with
+  | Error e -> Error e
+  | Ok strategy -> Ok (deploy ?config s strategy)
+
+let run ?config s =
+  match prepare ?config s with
+  | Error e -> Error e
+  | Ok rt ->
+    Runtime.run rt ~horizon:s.horizon;
+    Ok rt
+
+let prepare_unchecked ?config s =
+  match Planner.build (resolved_config s) s.workload s.topology with
+  | Error e -> Error e
+  | Ok strategy -> Ok (deploy ?config s strategy)
+
+let run_unchecked ?config s =
+  match prepare_unchecked ?config s with
   | Error e -> Error e
   | Ok rt ->
     Runtime.run rt ~horizon:s.horizon;

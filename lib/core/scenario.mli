@@ -56,15 +56,36 @@ val resolved_config : spec -> Planner.config
     from this resolved config (see {!Planner.config_key}), which is what
     the campaign plan cache does. *)
 
-val plan : spec -> (Planner.t, Planner.error) result
+val plan : ?config:Runtime.config -> spec -> (Planner.t, Planner.error) result
 (** Just the offline phase: build the strategy, then statically verify
     it with {!Btr_check.Check}. A strategy with [Error]-severity
     diagnostics yields [Error (Planner.Rejected _)] instead of being
-    deployed; the diagnostics are also emitted on [spec.obs]. *)
+    deployed; the diagnostics are also emitted on [spec.obs]. [config]
+    (default {!Runtime.default_config}) is the runtime configuration
+    the deployment will use — the verifier reads its
+    [omission_strikes] so the selective-omission analysis
+    (BTR-E305/W306) models the watchdog actually deployed. In every
+    entry point taking [config], [spec.seed] overrides the config's
+    seed: campaigns vary the seed per trial while reusing one config. *)
 
-val prepare : spec -> (Runtime.t, Planner.error) result
+val prepare : ?config:Runtime.config -> spec -> (Runtime.t, Planner.error) result
 (** Plan and deploy, but do not run — callers can hook actuators
     ({!Runtime.on_actuate}) first. *)
 
-val run : spec -> (Runtime.t, Planner.error) result
+val run : ?config:Runtime.config -> spec -> (Runtime.t, Planner.error) result
 (** Plan, deploy, inject, run to the horizon. *)
+
+val prepare_unchecked :
+  ?config:Runtime.config -> spec -> (Runtime.t, Planner.error) result
+(** {!prepare} without the static verification gate: builds the plan
+    and deploys it even when {!Btr_check.Check} would reject it. For
+    adversarial conformance testing — forcing a statically rejected
+    configuration into the simulator to confirm the rejection was
+    genuine (a witness schedule really violates R) — and for baseline
+    experiments that deliberately study under-provisioned strategies.
+    Never use it on the happy path: acceptance is only meaningful
+    because deployment implies the gate passed. *)
+
+val run_unchecked :
+  ?config:Runtime.config -> spec -> (Runtime.t, Planner.error) result
+(** {!prepare_unchecked}, then inject and run to the horizon. *)

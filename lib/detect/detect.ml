@@ -11,6 +11,14 @@ module Watchdog = struct
   type expectation = { from_node : int; deadline : Time.t; mutable met : bool }
   type late = { flow : int; period : int; from_node : int; lateness : Time.t }
 
+  type miss = {
+    miss_flow : int;
+    miss_period : int;
+    miss_from : int;
+    account : int;
+    declared : bool;
+  }
+
   type t = {
     node : int;
     margin : Time.t;
@@ -18,8 +26,13 @@ module Watchdog = struct
     obs : Obs.t;
     late_count : Obs.Counter.t;
     missing_count : Obs.Counter.t;
+    reset_count : Obs.Counter.t;
     table : (int * int, expectation) Hashtbl.t;
-    misses : (int, int) Hashtbl.t;  (* per from_node missing count *)
+    (* Per-sender strike account, shared across every watcher path from
+       that sender to this node. Bumped at most once per sweep, reset on
+       a timely arrival — so only a sustained per-sender outage (not
+       accumulated unrelated losses) ever reaches [strikes]. *)
+    accounts : (int, int) Hashtbl.t;
   }
 
   let create ~node ~margin ?(strikes = 1) ?(obs = Obs.null) () =
@@ -32,9 +45,13 @@ module Watchdog = struct
       obs;
       late_count = Obs.Registry.counter reg Obs.Detect "watchdog-late";
       missing_count = Obs.Registry.counter reg Obs.Detect "watchdog-missing";
+      reset_count = Obs.Registry.counter reg Obs.Detect "strike-resets";
       table = Hashtbl.create 64;
-      misses = Hashtbl.create 16;
+      accounts = Hashtbl.create 16;
     }
+
+  let account t ~from_node =
+    Option.value ~default:0 (Hashtbl.find_opt t.accounts from_node)
 
   let expect t ~flow ~period ~from_node ~deadline =
     if not (Hashtbl.mem t.table (flow, period)) then
@@ -54,36 +71,67 @@ module Watchdog = struct
             (Obs.Watchdog_late { flow; period; from_node = e.from_node; lateness });
         Some { flow; period; from_node = e.from_node; lateness }
       end
-      else None
+      else begin
+        (* A timely arrival proves the sender is live on this path right
+           now: clear its strike account so sporadic, spread-out link
+           loss can never accumulate into a false declaration. *)
+        if account t ~from_node:e.from_node > 0 then begin
+          Hashtbl.replace t.accounts e.from_node 0;
+          Obs.Counter.incr t.reset_count
+        end;
+        None
+      end
 
   let cmp_flow_period (f1, p1) (f2, p2) =
     match Int.compare f1 f2 with 0 -> Int.compare p1 p2 | c -> c
 
-  let overdue t ~now =
+  let sweep t ~now =
     (* Sorted traversal: the report order feeds evidence emission and
        the telemetry trace, so it must not depend on insertion order. *)
     let due =
       List.filter
-        (fun (_, e) ->
+        (fun ((_ : int * int), (e : expectation)) ->
           (not e.met) && Time.compare now (Time.add e.deadline t.margin) > 0)
         (Table.sorted_bindings ~cmp:cmp_flow_period t.table)
     in
-    (* Mark as met so the next sweep skips them; report a sender only
-       once it has accumulated [strikes] misses (loss tolerance). *)
-    List.filter_map
+    (* Bump each sender's account at most once per sweep, no matter how
+       many of its flows are overdue: detection latency then depends on
+       sustained periods of silence, not on watcher fan-in. *)
+    let bumped = Hashtbl.create 4 in
+    List.iter
+      (fun (_, (e : expectation)) ->
+        if not (Hashtbl.mem bumped e.from_node) then begin
+          Hashtbl.replace bumped e.from_node ();
+          Hashtbl.replace t.accounts e.from_node
+            (1 + account t ~from_node:e.from_node)
+        end)
+      due;
+    List.map
       (fun ((flow, period), e) ->
         e.met <- true;
-        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.misses e.from_node) in
-        Hashtbl.replace t.misses e.from_node n;
-        if n >= t.strikes then begin
+        let n = account t ~from_node:e.from_node in
+        let declared = n >= t.strikes in
+        if declared then begin
           Obs.Counter.incr t.missing_count;
           if Obs.enabled t.obs then
             Obs.emit t.obs ~at:now ~node:t.node Obs.Detect
-              (Obs.Watchdog_missing { flow; period; from_node = e.from_node });
-          Some (flow, period, e.from_node)
-        end
-        else None)
+              (Obs.Watchdog_missing { flow; period; from_node = e.from_node })
+        end;
+        {
+          miss_flow = flow;
+          miss_period = period;
+          miss_from = e.from_node;
+          account = n;
+          declared;
+        })
       due
+
+  let overdue t ~now =
+    List.filter_map
+      (fun m ->
+        if m.declared then Some (m.miss_flow, m.miss_period, m.miss_from)
+        else None)
+      (sweep t ~now)
 
   let pending t =
     Table.sorted_fold ~cmp:cmp_flow_period
@@ -94,30 +142,49 @@ end
 module Attribution = struct
   type t = {
     threshold : int;
+    window : int;
     counterpart : (int, int list ref) Hashtbl.t;
+    (* Set mirror of [counterpart] so membership checks are O(1); the
+       list keeps first-seen order for deterministic output. *)
+    counterpart_set : (int * int, unit) Hashtbl.t;
+    attributed_set : (int, unit) Hashtbl.t;
     mutable attributed_rev : int list;
+    (* sender -> (watcher -> period of its most recent suspicion) *)
+    suspicions : (int, (int, int) Hashtbl.t) Hashtbl.t;
+    corroborated : (int, unit) Hashtbl.t;
   }
 
-  let create ~threshold =
+  let create ?(window = 4) ~threshold () =
     if threshold < 1 then invalid_arg "Attribution.create: threshold < 1";
-    { threshold; counterpart = Hashtbl.create 16; attributed_rev = [] }
+    if window < 1 then invalid_arg "Attribution.create: window < 1";
+    {
+      threshold;
+      window;
+      counterpart = Hashtbl.create 16;
+      counterpart_set = Hashtbl.create 32;
+      attributed_set = Hashtbl.create 16;
+      attributed_rev = [];
+      suspicions = Hashtbl.create 16;
+      corroborated = Hashtbl.create 4;
+    }
 
   let counterparties t n =
-    match Hashtbl.find_opt t.counterpart n with Some l -> !l | None -> []
+    match Hashtbl.find_opt t.counterpart n with Some l -> List.rev !l | None -> []
 
-  let is_attributed t n = List.mem n t.attributed_rev
+  let is_attributed t n = Hashtbl.mem t.attributed_set n
 
   let note_one t node other =
-    let l =
-      match Hashtbl.find_opt t.counterpart node with
-      | Some l -> l
-      | None ->
-        let l = ref [] in
-        Hashtbl.replace t.counterpart node l;
-        l
-    in
-    if List.mem other !l then false
+    if Hashtbl.mem t.counterpart_set (node, other) then false
     else begin
+      Hashtbl.replace t.counterpart_set (node, other) ();
+      let l =
+        match Hashtbl.find_opt t.counterpart node with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace t.counterpart node l;
+          l
+      in
       l := other :: !l;
       List.length !l >= t.threshold && not (is_attributed t node)
     end
@@ -126,8 +193,43 @@ module Attribution = struct
     let newly = ref [] in
     if note_one t a b then newly := a :: !newly;
     if note_one t b a then newly := b :: !newly;
-    List.iter (fun n -> t.attributed_rev <- n :: t.attributed_rev) !newly;
+    List.iter
+      (fun n ->
+        Hashtbl.replace t.attributed_set n ();
+        t.attributed_rev <- n :: t.attributed_rev)
+      !newly;
     List.rev !newly
 
   let attributed t = List.rev t.attributed_rev
+
+  let is_corroborated t ~sender = Hashtbl.mem t.corroborated sender
+
+  let note_suspicion t ~sender ~watcher ~period =
+    if Hashtbl.mem t.corroborated sender then []
+    else begin
+      let tbl =
+        match Hashtbl.find_opt t.suspicions sender with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace t.suspicions sender tbl;
+          tbl
+      in
+      let prev = Option.value ~default:min_int (Hashtbl.find_opt tbl watcher) in
+      if period > prev then Hashtbl.replace tbl watcher period;
+      (* Only suspicions recent enough to describe the same outage count
+         as corroborating; stale entries from an old, recovered glitch
+         age out of the window. *)
+      let recent =
+        Table.sorted_fold ~cmp:Int.compare
+          (fun w p acc -> if period - p <= t.window then w :: acc else acc)
+          tbl []
+      in
+      let recent = List.sort Int.compare recent in
+      if List.length recent >= t.threshold then begin
+        Hashtbl.replace t.corroborated sender ();
+        recent
+      end
+      else []
+    end
 end

@@ -5,6 +5,7 @@ module Obs = Btr_obs.Obs
 type fault_class =
   | Wrong_value
   | Omission
+  | Omission_suspected
   | Timing
   | Equivocation
   | Forged_evidence
@@ -14,6 +15,7 @@ let pp_fault_class ppf c =
     (match c with
     | Wrong_value -> "wrong-value"
     | Omission -> "omission"
+    | Omission_suspected -> "omission-suspected"
     | Timing -> "timing"
     | Equivocation -> "equivocation"
     | Forged_evidence -> "forged-evidence")

@@ -20,6 +20,11 @@ module Auth = Btr_crypto.Auth
 type fault_class =
   | Wrong_value  (** output does not match replay of signed inputs *)
   | Omission  (** an expected message never arrived *)
+  | Omission_suspected
+      (** a sender has missed some — but fewer than the declaring
+          watchdog's strike threshold of — consecutive sweeps; carries no
+          weight alone, but [f + 1] distinct watchers' suspicions of the
+          same sender corroborate into omission-grade path evidence *)
   | Timing  (** right message at the wrong time *)
   | Equivocation  (** different values for the same (flow, period) *)
   | Forged_evidence  (** signed an evidence record that fails validation *)

@@ -51,6 +51,13 @@ type payload =
       lateness : Time.t;
     }
   | Watchdog_missing of { flow : int; period : int; from_node : int }
+  | Watchdog_suspect of {
+      flow : int;
+      period : int;
+      from_node : int;
+      account : int;
+    }
+  | Corroborated of { sender : int; watchers : int }
   | Evidence_emitted of {
       accused : string;
       fault_class : string;
@@ -193,6 +200,8 @@ let payload_tag = function
   | Checker_replay _ -> "checker-replay"
   | Watchdog_late _ -> "watchdog-late"
   | Watchdog_missing _ -> "watchdog-missing"
+  | Watchdog_suspect _ -> "watchdog-suspect"
+  | Corroborated _ -> "corroborated"
   | Evidence_emitted _ -> "evidence-emitted"
   | Evidence_admitted _ -> "evidence-admitted"
   | Mode_staged _ -> "mode-staged"
@@ -282,6 +291,14 @@ let add_payload b = function
     add_int b "flow" flow;
     add_int b "period" period;
     add_int b "from" from_node
+  | Watchdog_suspect { flow; period; from_node; account } ->
+    add_int b "flow" flow;
+    add_int b "period" period;
+    add_int b "from" from_node;
+    add_int b "account" account
+  | Corroborated { sender; watchers } ->
+    add_int b "sender" sender;
+    add_int b "watchers" watchers
   | Evidence_emitted { accused; fault_class; period } ->
     add_str b "accused" accused;
     add_str b "class" fault_class;

@@ -75,6 +75,18 @@ type payload =
     }
   | Watchdog_missing of { flow : int; period : int; from_node : int }
       (** an expected message never arrived within deadline + margin *)
+  | Watchdog_suspect of {
+      flow : int;
+      period : int;
+      from_node : int;
+      account : int;
+    }
+      (** a sender's strike account is above zero but below the
+          declaration threshold — grounds for corroboration, not for a
+          declaration on its own *)
+  | Corroborated of { sender : int; watchers : int }
+      (** [watchers] distinct watchers' sub-threshold suspicions of
+          [sender] combined into omission-grade path evidence *)
   | Evidence_emitted of {
       accused : string;
       fault_class : string;

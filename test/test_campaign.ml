@@ -52,6 +52,53 @@ let test_grid_validation () =
   check_bool "share > 0.6" false
     (ok { Campaign.default_grid with Campaign.control_shares = [ Some 0.9 ] })
 
+let test_classes_validation () =
+  let ok g = Result.is_ok (Campaign.validate_grid g) in
+  check_bool "empty classes" false
+    (ok { Campaign.default_grid with Campaign.classes = [] });
+  check_bool "unknown class" false
+    (ok { Campaign.default_grid with Campaign.classes = [ "omitto"; "gray" ] });
+  check_bool "single-class palette" true
+    (ok { Campaign.default_grid with Campaign.classes = [ "omitto" ] })
+
+let test_known_classes_complete () =
+  check_int "seven behavior classes" 7 (List.length Campaign.known_classes);
+  List.iter
+    (fun c ->
+      check_bool (c ^ " validates alone") true
+        (Result.is_ok
+           (Campaign.validate_grid
+              { Campaign.default_grid with Campaign.classes = [ c ] })))
+    Campaign.known_classes
+
+let test_classes_restrict_scripts () =
+  (* A single-class palette draws only that behavior, over many trials. *)
+  let spec =
+    Campaign.spec
+      ~grid:{ Campaign.default_grid with Campaign.classes = [ "omitto" ] }
+      ~trials:30 ~seed:11 ()
+  in
+  let events = ref 0 in
+  List.iter
+    (fun (t : Campaign.trial) ->
+      List.iter
+        (fun (e : Fault.event) ->
+          incr events;
+          match e.Fault.behavior with
+          | Fault.Omit_to targets ->
+            check_bool "omit-to targets nonempty" true (targets <> [])
+          | _ -> Alcotest.fail "non-omitto event from an omitto-only palette")
+        t.Campaign.script)
+    (Campaign.compile spec);
+  check_bool "palette actually produced events" true (!events > 0)
+
+let test_classes_not_in_cross_product () =
+  (* The classes axis shapes behavior generation, not the config grid. *)
+  let n g = List.length (Campaign.grid_params g) in
+  check_int "classes axis does not multiply configs"
+    (n Campaign.default_grid)
+    (n { Campaign.default_grid with Campaign.classes = [ "crash" ] })
+
 (* --- compilation ---------------------------------------------------- *)
 
 let test_compile_deterministic () =
@@ -155,32 +202,47 @@ let prop_jobs_invariant =
          = List.map Campaign.verdict_json b.Campaign.verdicts)
 
 let test_full_artifact_jobs_invariant () =
-  (* includes shrinking: the whole artifact, violations included, must
-     not depend on the worker count *)
+  (* the whole artifact must not depend on the worker count. This seed
+     used to produce selective-omission violations; since the detector
+     shares strikes per sender and lanes abstain on partial inputs, the
+     statically-admitted default grid runs clean — which is itself the
+     regression being pinned here (the conformance suite sweeps it
+     exhaustively). *)
   let spec = Campaign.spec ~trials:10 ~seed:7 () in
   let a = Campaign.run ~jobs:1 spec and b = Campaign.run ~jobs:3 spec in
-  check_bool "some violation found" true (a.Campaign.violations <> []);
+  check_bool "admitted grid runs clean" true (a.Campaign.violations = []);
   check_bool "artifacts identical" true
     (Campaign.result_json_lines a = Campaign.result_json_lines b);
   check_int "jobs recorded" 3 b.Campaign.jobs
 
 let test_shrunk_violations_replay () =
-  let spec = Campaign.spec ~trials:10 ~seed:7 () in
-  let result = Campaign.run ~jobs:2 spec in
-  check_bool "some violation found" true (result.Campaign.violations <> []);
-  List.iter
-    (fun (s : Campaign.shrunk_violation) ->
-      (* fresh cache: the minimized script violates on its own *)
-      let cache = Campaign.Cache.create ~seed:spec.Campaign.seed in
-      let outcome =
-        Campaign.run_script ~cache s.Campaign.source.Campaign.params
-          ~runtime_seed:s.Campaign.source.Campaign.runtime_seed s.Campaign.script
-      in
-      check_bool "shrunk script still violates" true (Campaign.violates outcome);
-      check_bool "no larger than source" true
-        (List.length s.Campaign.script
-        <= List.length s.Campaign.source.Campaign.script))
-    result.Campaign.violations
+  (* Generated scripts respect f, and admitted configs now survive every
+     in-budget schedule — so a violation worth shrinking needs a script
+     beyond the fault budget: two crashed nodes at f = 1. The shrunk
+     script must replay standalone through a fresh cache. *)
+  let script =
+    match
+      Campaign.script_of_string
+        "crash@2@250000;babble.4@0@50000;crash@3@300000;delay.2000@4@100000"
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "bad fixture: %s" m
+  in
+  let params = Campaign.default_params in
+  let trial =
+    { Campaign.index = 0; runtime_seed = 1; params; script; horizon = Time.sec 1 }
+  in
+  let cache = Campaign.Cache.create ~seed:1 in
+  match Campaign.shrink_violation ~cache ~budget:150 trial with
+  | None -> Alcotest.fail "two crashes at f=1 must violate"
+  | Some s ->
+    let cache2 = Campaign.Cache.create ~seed:1 in
+    let outcome =
+      Campaign.run_script ~cache:cache2 params ~runtime_seed:1 s.Campaign.script
+    in
+    check_bool "shrunk script still violates" true (Campaign.violates outcome);
+    check_bool "no larger than source" true
+      (List.length s.Campaign.script <= List.length script)
 
 (* --- plan cache ------------------------------------------------------ *)
 
@@ -208,14 +270,17 @@ let test_plan_key_semantics () =
 
 (* --- shrinking ------------------------------------------------------- *)
 
-(* A deterministic statically-admitted violation: selective omission to
-   a minority of watchers out-waits detection (recovery ~360ms > R).
-   Three noise events that each pass on their own ride along; the
-   shrinker must strip them. *)
+(* A deterministic violation: two crashed nodes exceed the f = 1 budget,
+   so no plan covers them and the second crash's tasks stay missing to
+   the horizon. (The historic fixture here — omitto.3.5@2@250000, a
+   selective omission out-waiting detection — no longer violates: the
+   detector closes it; test_conformance pins that.) Three noise events
+   that each pass on their own ride along; the shrinker must strip down
+   to a two-node budget breach. *)
 let noisy_violation_script () =
   match
     Campaign.script_of_string
-      "omitto.3.5@2@250000;equivocate@1@400000;delay.2000@4@100000;babble.4@0@50000"
+      "crash@2@250000;equivocate@1@400000;crash@3@300000;delay.2000@4@100000;babble.4@0@50000"
   with
   | Ok s -> s
   | Error m -> Alcotest.failf "bad fixture: %s" m
@@ -236,11 +301,11 @@ let test_shrinker_minimizes_known_violation () =
   | None -> Alcotest.fail "fixture no longer violates"
   | Some s ->
     check_bool "shrunk to <= 3 events" true (List.length s.Campaign.script <= 3);
-    check_bool "kept the essential omission" true
-      (List.exists
-         (fun (e : Fault.event) ->
-           match e.Fault.behavior with Fault.Omit_to _ -> true | _ -> false)
-         s.Campaign.script);
+    check_bool "kept two distinct faulty nodes (the budget breach)" true
+      (List.length
+         (List.sort_uniq Int.compare
+            (List.map (fun (e : Fault.event) -> e.Fault.node) s.Campaign.script))
+      = 2);
     check_bool "snippet is a program" true
       (String.length s.Campaign.snippet > 0
       && String.sub s.Campaign.snippet 0 2 = "(*");
@@ -405,6 +470,12 @@ let suite =
   [
     Alcotest.test_case "grid cross product" `Quick test_grid_cross_product;
     Alcotest.test_case "grid validation" `Quick test_grid_validation;
+    Alcotest.test_case "classes axis validation" `Quick test_classes_validation;
+    Alcotest.test_case "known classes all validate" `Quick test_known_classes_complete;
+    Alcotest.test_case "single-class palette restricts scripts" `Quick
+      test_classes_restrict_scripts;
+    Alcotest.test_case "classes not part of cross product" `Quick
+      test_classes_not_in_cross_product;
     Alcotest.test_case "compile is deterministic" `Quick test_compile_deterministic;
     Alcotest.test_case "trial_of_index = compile !! i" `Quick test_trial_of_index;
     Alcotest.test_case "scripts respect f and horizon" `Quick test_scripts_respect_f;

@@ -35,9 +35,10 @@ let has code report =
     report.Check.diagnostics
 
 (* Corrupt the view, verify, and require [code] among the diagnostics
-   (an Error code must also fail the report). *)
-let fires code corrupt () =
-  let report = Check.verify_view (corrupt (base_view ())) in
+   (an Error code must also fail the report). [strikes] is the runtime
+   watchdog declaration threshold seen by the selective-omission check. *)
+let fires ?strikes code corrupt () =
+  let report = Check.verify_view ?strikes (corrupt (base_view ())) in
   check_bool (Check.code_id code ^ " fires") true (has code report);
   match Check.severity_of code with
   | Check.Error ->
@@ -190,6 +191,26 @@ let w304 =
             v.Check.transitions;
       })
 
+let with_recovery_bound v r =
+  { v with Check.config = { v.Check.config with Planner.recovery_bound = r } }
+
+(* BTR-E305: at R = 60ms the strike path misses its deadline for every
+   selective-omission cut, and sender 0's minimal cut is a single
+   watcher ({2}), so corroboration (which needs f+1 = 2 distinct
+   watchers) cannot save it either. R = 60ms is chosen so that E303
+   does {e not} also fire: the transitions themselves still fit. *)
+let e305 =
+  fires Check.Selective_omission_undetectable (fun v ->
+      with_recovery_bound v (Time.ms 60))
+
+(* BTR-W306: with a 2-strike watchdog at R = 80ms, single-watchdog
+   declaration takes 2 periods + slack > R, but the senders whose
+   minimal cut spans >= 2 watchers are still caught in time through
+   first-sweep corroboration. *)
+let w306 =
+  fires ~strikes:2 Check.Omission_needs_corroboration (fun v ->
+      with_recovery_bound v (Time.ms 80))
+
 (* BTR-E401: a transition retargeted at a mode nobody planned. *)
 let e401 =
   fires Check.Transition_target_unknown (fun v ->
@@ -264,6 +285,8 @@ let test_every_code_covered () =
       Check.Transition_missing;
       Check.Recovery_bound_exceeded;
       Check.Recovery_bound_understated;
+      Check.Selective_omission_undetectable;
+      Check.Omission_needs_corroboration;
       Check.Transition_target_unknown;
       Check.Orphan_mode;
       Check.Evidence_unroutable;
@@ -330,6 +353,123 @@ let prop_accept_implies_bounded_recovery =
               (fun rec_t -> Time.compare rec_t r <= 0)
               (Btr.Metrics.recovery_times (Btr.Runtime.metrics rt)))))
 
+(* The omission-shaped generalization: acceptance must also survive the
+   adversary the old detector starved on. Draw a sender and a random
+   nonempty subset of the other nodes as omission targets; accepted
+   strategies must keep recovery within R against that schedule. *)
+let prop_accept_implies_bounded_recovery_omitto =
+  QCheck.Test.make
+    ~name:"verifier accepts => omit-to recovery <= R (random watcher subsets)"
+    ~count:100
+    QCheck.(triple (int_range 1 10_000) (int_bound 3) (int_range 1 7))
+    (fun (seed, sender, mask) ->
+      let workload =
+        Generators.random_layered ~rng:(Rng.create seed) ~n_nodes:4 ~layers:3
+          ~width:3 ()
+      in
+      let others = List.filter (fun x -> x <> sender) [ 0; 1; 2; 3 ] in
+      let targets =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) others
+      in
+      let targets = if targets = [] then [ List.hd others ] else targets in
+      let r = Time.ms 300 in
+      let spec ?script () =
+        Btr.Scenario.spec ~workload ~topology:(clique 4) ~f:1 ~recovery_bound:r
+          ?script ~horizon:(Time.sec 1) ~seed ()
+      in
+      match Btr.Scenario.plan (spec ()) with
+      | Error _ -> true (* not accepted: property is vacuous *)
+      | Ok _ -> (
+        match Btr.Scenario.run (spec ()) with
+        | Error _ -> false
+        | Ok rt0 when not (deployment_clean workload rt0) -> true
+        | Ok _ -> (
+          match
+            Btr.Scenario.run
+              (spec
+                 ~script:
+                   [
+                     {
+                       Fault.at = Time.ms 110;
+                       node = sender;
+                       behavior = Fault.Omit_to targets;
+                     };
+                   ]
+                 ())
+          with
+          | Error _ -> false
+          | Ok rt ->
+            List.for_all
+              (fun rec_t -> Time.compare rec_t r <= 0)
+              (Btr.Metrics.recovery_times (Btr.Runtime.metrics rt)))))
+
+(* The dual: a BTR-E305 rejection is not conservatism — in the decisive
+   regime (R at most (strikes + 1) periods, so no detection path can
+   possibly fit), some witness schedule genuinely violates when forced
+   past the gate. Outside that regime the static bound keeps a safety
+   margin of about two periods over the simulator, which is exactly
+   what a verifier is for. *)
+let witness_strategy_cache : (int, Btr_planner.Planner.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let witness_strategy ~r_ms =
+  match Hashtbl.find_opt witness_strategy_cache r_ms with
+  | Some s -> s
+  | None ->
+    let s =
+      match
+        Planner.build
+          (Planner.default_config ~f:1 ~recovery_bound:(Time.ms r_ms))
+          (Generators.avionics ~n_nodes:6)
+          (clique 6)
+      with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "planner failed: %a" Planner.pp_error e
+    in
+    Hashtbl.replace witness_strategy_cache r_ms s;
+    s
+
+let prop_e305_reject_implies_violating_schedule =
+  QCheck.Test.make
+    ~name:"E305 reject => a witness schedule violates (decisive regime)"
+    ~count:40
+    QCheck.(pair (int_range 1 5) (int_range 0 12))
+    (fun (strikes, r_step) ->
+      let period_ms = 20 in
+      let r_ms =
+        Stdlib.min (40 + (10 * r_step)) (period_ms * (strikes + 1))
+      in
+      let r = Time.ms r_ms in
+      let v = Check.view_of_strategy (witness_strategy ~r_ms) in
+      let wits = Check.selective_omission_witnesses ~strikes v in
+      let config =
+        { Btr.Runtime.default_config with Btr.Runtime.omission_strikes = strikes }
+      in
+      wits <> []
+      && List.exists
+           (fun (w : Check.omission_witness) ->
+             let spec =
+               Btr.Scenario.spec
+                 ~workload:(Generators.avionics ~n_nodes:6)
+                 ~topology:(clique 6) ~f:1 ~recovery_bound:r
+                 ~script:
+                   [
+                     {
+                       Fault.at = Time.ms 250;
+                       node = w.Check.ow_sender;
+                       behavior = Fault.Omit_to w.Check.ow_targets;
+                     };
+                   ]
+                 ~horizon:(Time.sec 1) ()
+             in
+             match Btr.Scenario.run_unchecked ~config spec with
+             | Error _ -> false
+             | Ok rt ->
+               List.exists
+                 (fun rec_t -> Time.compare rec_t r > 0)
+                 (Btr.Metrics.recovery_times (Btr.Runtime.metrics rt)))
+           wits)
+
 let suite =
   [
     ("pristine avionics strategy passes", `Quick, test_pristine_passes);
@@ -344,6 +484,8 @@ let suite =
     ("E302 transition missing", `Quick, e302);
     ("E303 recovery bound exceeded", `Quick, e303);
     ("W304 recovery bound understated", `Quick, w304);
+    ("E305 selective omission undetectable", `Quick, e305);
+    ("W306 omission needs corroboration", `Quick, w306);
     ("E401 transition target unknown", `Quick, e401);
     ("E402 orphan mode", `Quick, e402);
     ("E403 evidence unroutable", `Quick, e403);
@@ -351,4 +493,6 @@ let suite =
     ("scenario rejects an infeasible plan", `Quick, test_scenario_rejects);
     ("corpus covers every code", `Quick, test_every_code_covered);
     QCheck_alcotest.to_alcotest prop_accept_implies_bounded_recovery;
+    QCheck_alcotest.to_alcotest prop_accept_implies_bounded_recovery_omitto;
+    QCheck_alcotest.to_alcotest prop_e305_reject_implies_violating_schedule;
   ]

@@ -1,0 +1,248 @@
+(* Adversarial conformance: the static verifier's selective-omission
+   verdict and the runtime detector agree in both directions.
+
+   Accept side: on a statically admitted configuration, no omit-to
+   schedule — exhaustively, every sender against every nonempty subset
+   of the other nodes — drives recovery past R. This is the soundness
+   gap the old per-path strike counter had: [omitto.3.5@2@250000]
+   (node 2 omitting toward {3,5} on the avionics clique) starved each
+   watcher below its declaration threshold and poisoned a lane to the
+   horizon (the E11 open finding, now closed).
+
+   Reject side: every BTR-E305 diagnostic carries a witness schedule,
+   and forcing the rejected configuration past the admission gate with
+   [Scenario.run_unchecked] makes that witness actually violate R — the
+   rejection is genuine, not conservatism. *)
+
+open Btr_util
+module Task = Btr_workload.Task
+module Graph = Btr_workload.Graph
+module Generators = Btr_workload.Generators
+module Topology = Btr_net.Topology
+module Planner = Btr_planner.Planner
+module Check = Btr_check.Check
+module Fault = Btr_fault.Fault
+module Campaign = Btr_campaign.Campaign
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let clique n =
+  Topology.fully_connected ~n ~bandwidth_bps:10_000_000 ~latency:(Time.us 50)
+
+let avionics = lazy (Generators.avionics ~n_nodes:6)
+
+let omitto_spec ?(f = 1) ?(r = Time.ms 200) ~sender ~targets () =
+  Btr.Scenario.spec ~workload:(Lazy.force avionics) ~topology:(clique 6) ~f
+    ~recovery_bound:r
+    ~script:
+      [ { Fault.at = Time.ms 250; node = sender; behavior = Fault.Omit_to targets } ]
+    ~horizon:(Time.sec 1) ()
+
+let recoveries rt = Btr.Metrics.recovery_times (Btr.Runtime.metrics rt)
+
+let violates_r ~r rt =
+  List.exists (fun t -> Time.compare t r > 0) (recoveries rt)
+
+(* --- the historic reproducer ---------------------------------------- *)
+
+let historic = "omitto.3.5@2@250000"
+
+let test_historic_snippet_roundtrip () =
+  (* The reproducer identifier from the E11 finding must keep parsing
+     and printing byte-for-byte, so the regression below pins exactly
+     the schedule the old detector failed on. *)
+  match Campaign.script_of_string historic with
+  | Error m -> Alcotest.failf "historic script no longer parses: %s" m
+  | Ok script ->
+    check_string "codec round-trips the reproducer" historic
+      (Campaign.script_to_string script);
+    (match script with
+    | [ { Fault.at; node; behavior = Fault.Omit_to targets } ] ->
+      check_int "at 250ms" 250_000 at;
+      check_int "sender 2" 2 node;
+      check_bool "targets {3,5}" true (targets = [ 3; 5 ])
+    | _ -> Alcotest.fail "historic script shape changed")
+
+let test_historic_trial_passes () =
+  (* Replayed through the same single-trial path the campaign and the
+     CLI `campaign replay` use: the admitted default configuration must
+     now absorb the schedule (cross-path strike sharing + lane
+     abstention), where the seed semantics let it run Wrong to the
+     horizon. *)
+  let script =
+    match Campaign.script_of_string historic with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "parse: %s" m
+  in
+  let cache = Campaign.Cache.create ~seed:1 in
+  match Campaign.run_script ~cache Campaign.default_params ~runtime_seed:1 script with
+  | Campaign.Pass st ->
+    check_bool "worst recovery within R" true
+      (Time.compare st.Campaign.worst_recovery Campaign.default_params.Campaign.r <= 0)
+  | Campaign.Violation st ->
+    Alcotest.failf "the selective-omission gap is back: worst recovery %s"
+      (Format.asprintf "%a" Time.pp st.Campaign.worst_recovery)
+  | Campaign.Rejected m -> Alcotest.failf "default config rejected: %s" m
+  | Campaign.Errored m -> Alcotest.failf "trial errored: %s" m
+
+(* --- accept side: exhaustive omit-to sweep -------------------------- *)
+
+let subsets l =
+  List.fold_left (fun acc x -> acc @ List.map (fun s -> x :: s) acc) [ [] ] l
+
+let test_exhaustive_omitto_sweep () =
+  (* Every sender x every nonempty target subset on the admitted
+     avionics clique: 6 x 31 = 186 deployments, none may violate. *)
+  let nodes = [ 0; 1; 2; 3; 4; 5 ] in
+  let r = Time.ms 200 in
+  let failures = ref [] in
+  List.iter
+    (fun sender ->
+      List.iter
+        (fun targets ->
+          if targets <> [] then
+            let targets = List.sort Int.compare targets in
+            match Btr.Scenario.run (omitto_spec ~sender ~targets ()) with
+            | Error e ->
+              Alcotest.failf "admitted config failed to deploy: %a"
+                Planner.pp_error e
+            | Ok rt ->
+              if violates_r ~r rt then
+                failures := (sender, targets) :: !failures)
+        (subsets (List.filter (fun x -> x <> sender) nodes)))
+    nodes;
+  check_bool
+    (Printf.sprintf "no omit-to subset violates (found %d)"
+       (List.length !failures))
+    true (!failures = [])
+
+let test_omitto_campaign_clean () =
+  (* The randomized counterpart, through the campaign engine: an
+     omitto-focused palette across f x control-share, multicore. Only
+     statically admitted grid points may execute, and none of their
+     trials may violate. *)
+  let grid =
+    {
+      Campaign.default_grid with
+      Campaign.fault_bounds = [ 1 ];
+      control_shares = [ None; Some 0.2 ];
+      classes = [ "omitto" ];
+    }
+  in
+  check_bool "grid validates" true
+    (Campaign.validate_grid grid = Ok ());
+  let spec = Campaign.spec ~grid ~trials:24 ~seed:7 ~shrink:false () in
+  let result = Campaign.run ~jobs:2 spec in
+  check_int "all trials ran" 24 (List.length result.Campaign.verdicts);
+  check_bool "no violation verdict" true
+    (List.for_all
+       (fun (v : Campaign.verdict) -> not (Campaign.violates v.Campaign.outcome))
+       result.Campaign.verdicts);
+  check_bool "admitted points actually executed" true
+    (List.exists
+       (fun (v : Campaign.verdict) ->
+         match v.Campaign.outcome with Campaign.Pass _ -> true | _ -> false)
+       result.Campaign.verdicts);
+  check_bool "no shrunk violations" true (result.Campaign.violations = [])
+
+(* --- reject side: every E305 rejection has a live witness ----------- *)
+
+(* strikes = 3 with R = 80ms: a single watcher needs 3 missed periods to
+   declare, which no longer fits R, and sender 0's minimal cut is one
+   watcher, so corroboration (f+1 = 2 watchers) cannot close it either.
+   The probe grid in test_check exercises the same point statically;
+   here we force it past the gate and watch it burn. *)
+let witness_strikes = 3
+let witness_r = Time.ms 80
+
+let witness_config =
+  { Btr.Runtime.default_config with Btr.Runtime.omission_strikes = witness_strikes }
+
+let witness_view () =
+  match
+    Planner.build
+      (Planner.default_config ~f:1 ~recovery_bound:witness_r)
+      (Lazy.force avionics) (clique 6)
+  with
+  | Ok s -> Check.view_of_strategy s
+  | Error e -> Alcotest.failf "planner failed: %a" Planner.pp_error e
+
+let test_e305_gate_rejects () =
+  let spec = omitto_spec ~r:witness_r ~sender:0 ~targets:[ 2 ] () in
+  match Btr.Scenario.plan ~config:witness_config spec with
+  | Ok _ -> Alcotest.fail "gate admitted a selectively-omittable config"
+  | Error (Planner.Rejected { diagnostics }) ->
+    check_bool "BTR-E305 among the diagnostics" true
+      (List.exists (fun (code, _) -> code = "BTR-E305") diagnostics)
+  | Error e -> Alcotest.failf "expected Rejected, got %a" Planner.pp_error e
+
+let test_e305_witnesses_violate () =
+  let wits = Check.selective_omission_witnesses ~strikes:witness_strikes (witness_view ()) in
+  check_bool "at least one witness" true (wits <> []);
+  List.iter
+    (fun (w : Check.omission_witness) ->
+      check_int "witness watcher count" (List.length w.Check.ow_targets)
+        w.Check.ow_watchers;
+      let spec =
+        omitto_spec ~r:witness_r ~sender:w.Check.ow_sender
+          ~targets:w.Check.ow_targets ()
+      in
+      match Btr.Scenario.run_unchecked ~config:witness_config spec with
+      | Error e -> Alcotest.failf "unchecked deploy failed: %a" Planner.pp_error e
+      | Ok rt ->
+        check_bool
+          (Printf.sprintf "witness sender %d omitting toward {%s} violates R"
+             w.Check.ow_sender
+             (String.concat "," (List.map string_of_int w.Check.ow_targets)))
+          true
+          (violates_r ~r:witness_r rt))
+    wits
+
+let test_witnesses_match_diagnostics () =
+  (* One witness per E305 diagnostic, same order, same locus — the
+     report a user sees and the schedules this suite replays cannot
+     drift apart. *)
+  let v = witness_view () in
+  let report = Check.verify_view ~strikes:witness_strikes v in
+  let e305 =
+    List.filter
+      (fun (d : Check.diagnostic) -> d.Check.code = Check.Selective_omission_undetectable)
+      report.Check.diagnostics
+  in
+  let wits = Check.selective_omission_witnesses ~strikes:witness_strikes v in
+  check_int "one witness per E305 diagnostic" (List.length e305) (List.length wits);
+  List.iter2
+    (fun (d : Check.diagnostic) (w : Check.omission_witness) ->
+      check_bool "locus node is the sender" true
+        (d.Check.locus.Check.node = Some w.Check.ow_sender);
+      check_bool "locus flow is the starved flow" true
+        (d.Check.locus.Check.flow = Some w.Check.ow_flow);
+      check_bool "locus mode is the witness mode" true
+        (d.Check.locus.Check.faulty = Some w.Check.ow_mode))
+    e305 wits
+
+let test_strikes_tighten_the_gate () =
+  (* Raising the runtime's strike tolerance weakens detection, so the
+     set of admitted configurations must shrink monotonically: anything
+     rejected at [strikes] stays rejected at [strikes + 1]. *)
+  let v = witness_view () in
+  let rejected strikes =
+    List.length (Check.selective_omission_witnesses ~strikes v)
+  in
+  let r1 = rejected 1 and r2 = rejected 2 and r3 = rejected 3 in
+  check_bool "witness count monotone in strikes" true (r1 <= r2 && r2 <= r3);
+  check_bool "3-strike watchdog rejected here" true (r3 > 0)
+
+let suite =
+  [
+    ("historic reproducer round-trips", `Quick, test_historic_snippet_roundtrip);
+    ("omitto.3.5@2@250000 passes on the admitted config", `Quick, test_historic_trial_passes);
+    ("exhaustive omit-to sweep stays within R", `Slow, test_exhaustive_omitto_sweep);
+    ("omitto-focused campaign runs clean", `Slow, test_omitto_campaign_clean);
+    ("gate rejects the 3-strike config with E305", `Quick, test_e305_gate_rejects);
+    ("E305 witnesses violate past the gate", `Quick, test_e305_witnesses_violate);
+    ("witnesses match the diagnostics", `Quick, test_witnesses_match_diagnostics);
+    ("admission is monotone in strike tolerance", `Quick, test_strikes_tighten_the_gate);
+  ]

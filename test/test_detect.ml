@@ -97,10 +97,123 @@ let test_watchdog_strikes_per_sender () =
     "7 crosses its own threshold" [ (1, 1, 7) ]
     (Detect.Watchdog.overdue w ~now:(Time.ms 15))
 
+(* Strike accounts: cross-path sharing, once-per-sweep bumps, resets *)
+
+let declared_of l =
+  List.filter (fun (m : Detect.Watchdog.miss) -> m.Detect.Watchdog.declared) l
+
+let test_strikes_shared_across_paths () =
+  (* The account is per sender, not per flow: misses on different flows
+     from the same sender accumulate — exactly what the old per-path
+     counter failed to do for selective omission (a sender starving k
+     different watcher paths never gave any single path [strikes]
+     consecutive misses). *)
+  let w = Detect.Watchdog.create ~node:1 ~margin:Time.zero ~strikes:2 () in
+  Detect.Watchdog.expect w ~flow:1 ~period:0 ~from_node:7 ~deadline:(Time.ms 10);
+  check_bool "first path miss sub-threshold" true
+    (declared_of (Detect.Watchdog.sweep w ~now:(Time.ms 11)) = []);
+  Detect.Watchdog.expect w ~flow:2 ~period:1 ~from_node:7 ~deadline:(Time.ms 20);
+  match Detect.Watchdog.sweep w ~now:(Time.ms 21) with
+  | [ m ] ->
+    check_int "the second miss is on a different flow" 2 m.Detect.Watchdog.miss_flow;
+    check_int "but the shared account reached the threshold" 2
+      m.Detect.Watchdog.account;
+    check_bool "declared" true m.Detect.Watchdog.declared
+  | l -> Alcotest.failf "expected one miss, got %d" (List.length l)
+
+let test_strike_bumped_once_per_sweep () =
+  (* Many flows missing in the same sweep are one observation of the
+     sender, not several: the account must not jump straight to the
+     threshold on a single bad period. *)
+  let w = Detect.Watchdog.create ~node:1 ~margin:Time.zero ~strikes:2 () in
+  Detect.Watchdog.expect w ~flow:1 ~period:0 ~from_node:7 ~deadline:(Time.ms 10);
+  Detect.Watchdog.expect w ~flow:2 ~period:0 ~from_node:7 ~deadline:(Time.ms 10);
+  match Detect.Watchdog.sweep w ~now:(Time.ms 11) with
+  | [ a; b ] ->
+    check_int "account bumped once" 1 a.Detect.Watchdog.account;
+    check_int "same account on both misses" 1 b.Detect.Watchdog.account;
+    check_bool "neither declared" true (declared_of [ a; b ] = [])
+  | l -> Alcotest.failf "expected two misses, got %d" (List.length l)
+
+let test_strike_reset_on_timely_arrival () =
+  (* Monotonicity fix: interleaving sporadic losses with long healthy
+     stretches must never accumulate into a declaration, because every
+     timely arrival resets the sender's account; a genuine outage of
+     [strikes] consecutive periods still declares. *)
+  let w = Detect.Watchdog.create ~node:1 ~margin:Time.zero ~strikes:3 () in
+  let deadline p = Time.ms (10 * (p + 1)) in
+  let sweep_at p =
+    Detect.Watchdog.sweep w ~now:(Time.add (deadline p) (Time.ms 1))
+  in
+  (* 30 periods losing every third message: 10 losses, none declared. *)
+  for p = 0 to 29 do
+    Detect.Watchdog.expect w ~flow:1 ~period:p ~from_node:7 ~deadline:(deadline p);
+    if p mod 3 = 0 then
+      check_bool "sporadic loss stays sub-threshold" true
+        (declared_of (sweep_at p) = [])
+    else begin
+      ignore (Detect.Watchdog.note_arrival w ~flow:1 ~period:p ~at:(deadline p));
+      check_int "timely arrival resets the account" 0
+        (Detect.Watchdog.account w ~from_node:7);
+      ignore (sweep_at p)
+    end
+  done;
+  (* A real outage: three consecutive misses cross the threshold. *)
+  for p = 30 to 32 do
+    Detect.Watchdog.expect w ~flow:1 ~period:p ~from_node:7 ~deadline:(deadline p);
+    let d = declared_of (sweep_at p) in
+    if p < 32 then check_bool "first two strikes silent" true (d = [])
+    else
+      match d with
+      | [ m ] ->
+        check_int "declared against sender 7" 7 m.Detect.Watchdog.miss_from;
+        check_int "account equals the threshold" 3 m.Detect.Watchdog.account
+      | l -> Alcotest.failf "expected one declaration, got %d" (List.length l)
+  done
+
+(* Corroboration *)
+
+let test_corroboration_quorum_once () =
+  let a = Detect.Attribution.create ~window:4 ~threshold:2 () in
+  Alcotest.(check (list int))
+    "first watcher alone" []
+    (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:1 ~period:0);
+  check_bool "not yet corroborated" false
+    (Detect.Attribution.is_corroborated a ~sender:7);
+  Alcotest.(check (list int))
+    "second watcher completes the quorum" [ 1; 2 ]
+    (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:2 ~period:2);
+  check_bool "corroborated" true (Detect.Attribution.is_corroborated a ~sender:7);
+  Alcotest.(check (list int))
+    "fires exactly once" []
+    (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:3 ~period:2)
+
+let test_corroboration_window_ages_out () =
+  (* Two glitches ten periods apart describe different outages; only
+     observations within the window corroborate each other. *)
+  let a = Detect.Attribution.create ~window:4 ~threshold:2 () in
+  ignore (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:1 ~period:0);
+  Alcotest.(check (list int))
+    "stale suspicion does not corroborate" []
+    (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:2 ~period:10);
+  Alcotest.(check (list int))
+    "a fresh pair does" [ 2; 3 ]
+    (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:3 ~period:12)
+
+let test_corroboration_needs_distinct_watchers () =
+  let a = Detect.Attribution.create ~window:8 ~threshold:2 () in
+  ignore (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:1 ~period:0);
+  ignore (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:1 ~period:1);
+  Alcotest.(check (list int))
+    "one watcher repeating is not a quorum" []
+    (Detect.Attribution.note_suspicion a ~sender:7 ~watcher:1 ~period:2);
+  check_bool "not corroborated" false
+    (Detect.Attribution.is_corroborated a ~sender:7)
+
 (* Attribution *)
 
 let test_attribution_threshold () =
-  let a = Detect.Attribution.create ~threshold:2 in
+  let a = Detect.Attribution.create ~threshold:2 () in
   Alcotest.(check (list int)) "one path: nobody" [] (Detect.Attribution.note_path a ~a:4 ~b:1);
   Alcotest.(check (list int))
     "second distinct counterpart attributes node 4" [ 4 ]
@@ -110,7 +223,7 @@ let test_attribution_threshold () =
     (List.sort Int.compare (Detect.Attribution.counterparties a 4) = [ 1; 2 ])
 
 let test_attribution_duplicate_paths_dont_count () =
-  let a = Detect.Attribution.create ~threshold:2 in
+  let a = Detect.Attribution.create ~threshold:2 () in
   ignore (Detect.Attribution.note_path a ~a:4 ~b:1);
   ignore (Detect.Attribution.note_path a ~a:4 ~b:1);
   ignore (Detect.Attribution.note_path a ~a:1 ~b:4);
@@ -120,7 +233,7 @@ let test_attribution_duplicate_paths_dont_count () =
 let test_attribution_no_false_positive_with_threshold_f1 () =
   (* f = 1, threshold 2: a correct node facing one faulty counterpart
      never crosses the threshold, however many declarations repeat. *)
-  let a = Detect.Attribution.create ~threshold:2 in
+  let a = Detect.Attribution.create ~threshold:2 () in
   for _ = 1 to 10 do
     ignore (Detect.Attribution.note_path a ~a:0 ~b:9)
   done;
@@ -131,8 +244,33 @@ let test_attribution_no_false_positive_with_threshold_f1 () =
   Alcotest.(check (list int)) "attacker attributed" [ 9 ]
     (Detect.Attribution.note_path a ~a:1 ~b:9)
 
+let test_attribution_order_deterministic () =
+  (* [attributed] reports nodes in first-attribution order, independent
+     of the endpoint order inside each declaration — artifact diffs and
+     eviction decisions must not depend on who declared first. *)
+  let go order =
+    let a = Detect.Attribution.create ~threshold:2 () in
+    List.iter
+      (fun (x, y) -> ignore (Detect.Attribution.note_path a ~a:x ~b:y))
+      order;
+    Detect.Attribution.attributed a
+  in
+  Alcotest.(check (list int)) "9 attributed before 5" [ 9; 5 ]
+    (go [ (9, 1); (9, 2); (5, 3); (5, 4) ]);
+  Alcotest.(check (list int)) "endpoint order irrelevant" [ 9; 5 ]
+    (go [ (1, 9); (2, 9); (3, 5); (4, 5) ])
+
+let test_attribution_counterparties_first_seen () =
+  let a = Detect.Attribution.create ~threshold:3 () in
+  ignore (Detect.Attribution.note_path a ~a:4 ~b:2);
+  ignore (Detect.Attribution.note_path a ~a:1 ~b:4);
+  ignore (Detect.Attribution.note_path a ~a:4 ~b:0);
+  Alcotest.(check (list int))
+    "counterparties in first-seen order" [ 2; 1; 0 ]
+    (Detect.Attribution.counterparties a 4)
+
 let test_attribution_reports_each_node_once () =
-  let a = Detect.Attribution.create ~threshold:1 in
+  let a = Detect.Attribution.create ~threshold:1 () in
   Alcotest.(check (list int)) "both endpoints at threshold 1" [ 4; 1 ]
     (Detect.Attribution.note_path a ~a:4 ~b:1);
   Alcotest.(check (list int))
@@ -145,7 +283,7 @@ let prop_attribution_needs_threshold_distinct =
     ~count:200
     QCheck.(pair (int_range 1 4) (list_of_size Gen.(1 -- 20) (int_bound 5)))
     (fun (threshold, others) ->
-      let a = Detect.Attribution.create ~threshold in
+      let a = Detect.Attribution.create ~threshold () in
       List.iter (fun b -> ignore (Detect.Attribution.note_path a ~a:100 ~b)) others;
       let distinct = List.length (List.sort_uniq Int.compare others) in
       Detect.Attribution.is_attributed a 100 = (distinct >= threshold))
@@ -161,9 +299,17 @@ let suite =
     ("watchdog: expectations are idempotent", `Quick, test_watchdog_expect_idempotent);
     ("watchdog: strike threshold", `Quick, test_watchdog_strikes);
     ("watchdog: strikes counted per sender", `Quick, test_watchdog_strikes_per_sender);
+    ("watchdog: strikes shared across paths", `Quick, test_strikes_shared_across_paths);
+    ("watchdog: account bumped once per sweep", `Quick, test_strike_bumped_once_per_sweep);
+    ("watchdog: timely arrivals reset the account", `Quick, test_strike_reset_on_timely_arrival);
+    ("corroboration: quorum fires exactly once", `Quick, test_corroboration_quorum_once);
+    ("corroboration: window ages suspicions out", `Quick, test_corroboration_window_ages_out);
+    ("corroboration: needs distinct watchers", `Quick, test_corroboration_needs_distinct_watchers);
     ("attribution: threshold of distinct counterparties", `Quick, test_attribution_threshold);
     ("attribution: duplicates don't count", `Quick, test_attribution_duplicate_paths_dont_count);
     ("attribution: no false positives at f+1", `Quick, test_attribution_no_false_positive_with_threshold_f1);
     ("attribution: reported once", `Quick, test_attribution_reports_each_node_once);
+    ("attribution: deterministic order", `Quick, test_attribution_order_deterministic);
+    ("attribution: counterparties first-seen", `Quick, test_attribution_counterparties_first_seen);
     QCheck_alcotest.to_alcotest prop_attribution_needs_threshold_distinct;
   ]

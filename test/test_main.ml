@@ -20,5 +20,6 @@ let () =
       ("core", Test_core.suite);
       ("campaign", Test_campaign.suite);
       ("runtime", Test_runtime.suite);
+      ("conformance", Test_conformance.suite);
       ("baselines", Test_baselines.suite);
     ]

@@ -244,7 +244,11 @@ let test_late_injection_has_no_effect_before () =
 let test_lossy_links_with_strike_tolerance () =
   (* Residual loss breaks the paper's FEC assumption; with a 3-strike
      omission threshold, random losses never frame a correct node and a
-     real crash is still caught. *)
+     real crash is still caught. Since strike accounts are shared per
+     sender and suspect-carrying paths drive eviction directly, the
+     crash may be acted on (evicted into the mode) before any node
+     crosses the attribution threshold — so "caught" is asserted on the
+     mode, and "never framed" on both attribution and eviction. *)
   let config =
     { Btr.Runtime.default_config with residual_loss = 0.003; omission_strikes = 3 }
   in
@@ -263,11 +267,17 @@ let test_lossy_links_with_strike_tolerance () =
             check_bool
               (Printf.sprintf "node %d attributes only the crashed node" c)
               true (accused = 3))
-          (Btr.Runtime.node_fault_nodes rt c))
+          (Btr.Runtime.node_fault_nodes rt c);
+        List.iter
+          (fun evicted ->
+            check_bool
+              (Printf.sprintf "node %d evicts only the crashed node" c)
+              true (evicted = 3))
+          (Btr.Runtime.node_mode rt c))
       (correct_nodes rt);
-    check_bool "crash still attributed under loss" true
+    check_bool "crash still caught under loss" true
       (List.exists
-         (fun c -> List.mem 3 (Btr.Runtime.node_fault_nodes rt c))
+         (fun c -> List.mem 3 (Btr.Runtime.node_mode rt c))
          (correct_nodes rt)))
 
 let test_scada_unprotected_consumers () =

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --micro # microbenchmarks only
      dune exec bench/main.exe -- --campaign        # campaign throughput
      dune exec bench/main.exe -- --campaign --json # + BENCH_campaign.json
+     dune exec bench/main.exe -- --engine --json   # + BENCH_engine.json
      dune exec bench/main.exe -- --trace t.jsonl --metrics m.json
        # trace the demo deployment instead of running experiments  *)
 
@@ -38,6 +39,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro = ref false in
   let campaign = ref false in
+  let engine = ref false in
   let json = ref false in
   let trace = ref None in
   let metrics = ref None in
@@ -48,6 +50,9 @@ let () =
       collect acc rest
     | "--campaign" :: rest ->
       campaign := true;
+      collect acc rest
+    | "--engine" :: rest ->
+      engine := true;
       collect acc rest
     | "--json" :: rest ->
       json := true;
@@ -69,12 +74,16 @@ let () =
     Campaign_bench.run
       ?json_file:(if !json then Some "BENCH_campaign.json" else None)
       ();
+  if !engine then
+    Engine_bench.run
+      ?json_file:(if !json then Some "BENCH_engine.json" else None)
+      ();
   if !trace <> None || !metrics <> None then
     trace_demo ~trace:!trace ~metrics:!metrics
   else begin
     let selected =
       match wanted with
-      | [] -> if !micro || !campaign then [] else Experiments.all
+      | [] -> if !micro || !campaign || !engine then [] else Experiments.all
       | names ->
         List.filter_map
           (fun n ->

@@ -391,15 +391,32 @@ type result = {
 }
 
 module Cache = struct
-  type t = {
-    seed : int;
-    mutable entries : (string * (Planner.t, string) Stdlib.result) list;
+  (* Sharded by the FNV-1a hash of the plan key: lookups are O(1) in a
+     per-shard hash table (the old single-mutex assoc list re-scanned
+     every entry under one global lock, serializing all workers), and
+     contention is confined to workers racing on the same shard. The
+     hash is stable (never [Hashtbl.hash]) so the shard layout — and
+     with it the contention profile — is identical on every host. *)
+  let shard_bits = 4
+
+  let shard_count = 1 lsl shard_bits
+
+  type shard = {
+    table : (string, (Planner.t, string) Stdlib.result) Hashtbl.t;
     mutable hits : int;
     mutable misses : int;
     lock : Mutex.t;
   }
 
-  let create ~seed = { seed; entries = []; hits = 0; misses = 0; lock = Mutex.create () }
+  type t = { seed : int; shards : shard array }
+
+  let create ~seed =
+    {
+      seed;
+      shards =
+        Array.init shard_count (fun _ ->
+            { table = Hashtbl.create 16; hits = 0; misses = 0; lock = Mutex.create () });
+    }
 
   let build ~seed p =
     match workload_of ~seed p with
@@ -418,30 +435,46 @@ module Cache = struct
         | Ok strategy -> Ok strategy
         | Error e -> Error (Format.asprintf "%a" Planner.pp_error e)))
 
-  (* Planning happens while holding the lock: the planner is fast
-     (<100ms for every grid point we generate) and building a config
-     twice would waste more than the serialization costs. *)
+  let shard_of t key = t.shards.(Fnv.hash key land (shard_count - 1))
+
+  (* Planning happens while holding the shard lock: the planner is fast
+     (<100ms for every grid point we generate), building a config twice
+     would waste more than the lock hold costs, and only workers whose
+     keys collide on this shard wait — the other 15 shards stay free. *)
   let strategy t p =
     let key = plan_key ~seed:t.seed p in
-    Mutex.lock t.lock;
-    match List.assoc_opt key t.entries with
+    let s = shard_of t key in
+    Mutex.lock s.lock;
+    match Hashtbl.find_opt s.table key with
     | Some v ->
-      t.hits <- t.hits + 1;
-      Mutex.unlock t.lock;
+      s.hits <- s.hits + 1;
+      Mutex.unlock s.lock;
       v
     | None -> (
       match build ~seed:t.seed p with
       | v ->
-        t.entries <- (key, v) :: t.entries;
-        t.misses <- t.misses + 1;
-        Mutex.unlock t.lock;
+        Hashtbl.replace s.table key v;
+        s.misses <- s.misses + 1;
+        Mutex.unlock s.lock;
         v
       | exception e ->
-        Mutex.unlock t.lock;
+        Mutex.unlock s.lock;
         raise e)
 
-  let hits t = t.hits
-  let misses t = t.misses
+  (* Counter reads take each shard's lock in turn, so totals are exact
+     even while workers are still planning — reading the mutable fields
+     bare would race with the increments above. *)
+  let sum_locked f t =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.lock;
+        let v = f s in
+        Mutex.unlock s.lock;
+        acc + v)
+      0 t.shards
+
+  let hits t = sum_locked (fun s -> s.hits) t
+  let misses t = sum_locked (fun s -> s.misses) t
 end
 
 let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
@@ -620,26 +653,30 @@ let run ?obs ?jobs spec =
   if jobs = 1 || n <= 1 then
     Array.iteri (fun i t -> slots.(i) <- Some (verdict_of t)) trials
   else begin
-    (* Workers pull indices from a mutex-protected queue and write into
-       distinct slots; per-trial determinism makes the slot contents
-       independent of the interleaving. *)
-    let next = ref 0 in
-    let lock = Mutex.create () in
+    (* Workers claim chunks of consecutive indices with one atomic
+       fetch-and-add each (the old design took a mutex per single index,
+       so every trial boundary was a cross-domain synchronization) and
+       write into distinct slots; per-trial determinism makes the slot
+       contents independent of the interleaving. Chunks are ~1/8 of an
+       even split so stragglers still balance: a worker stuck on a slow
+       trial forfeits at most its current chunk to the others. *)
+    let workers = Stdlib.min jobs n in
+    let chunk = Stdlib.max 1 (n / (workers * 8)) in
+    let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
-        Mutex.lock lock;
-        let i = !next in
-        if i >= n then Mutex.unlock lock
-        else begin
-          next := i + 1;
-          Mutex.unlock lock;
-          slots.(i) <- Some (verdict_of trials.(i));
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = Stdlib.min n (start + chunk) in
+          for i = start to stop - 1 do
+            slots.(i) <- Some (verdict_of trials.(i))
+          done;
           loop ()
         end
       in
       loop ()
     in
-    let domains = draw_list (Stdlib.min jobs n) (fun _ -> Domain.spawn worker) in
+    let domains = draw_list workers (fun _ -> Domain.spawn worker) in
     List.iter Domain.join domains
   end;
   let verdicts =
@@ -856,17 +893,7 @@ let violation_json s =
       add_stats b first s.stats;
       add_str b first "snippet" s.snippet)
 
-let fnv64 lines =
-  let h = ref 0xcbf29ce484222325L in
-  let mix c = h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L in
-  List.iter
-    (fun l ->
-      String.iter mix l;
-      mix '\n')
-    lines;
-  Printf.sprintf "%016Lx" !h
-
-let fingerprint r = fnv64 (List.map verdict_json r.verdicts)
+let fingerprint r = Fnv.to_hex (Fnv.hash64_lines (List.map verdict_json r.verdicts))
 
 let grid_axes_str g =
   let commas f l = String.concat "," (List.map f l) in

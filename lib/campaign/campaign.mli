@@ -7,7 +7,8 @@
     fault-schedule generators that draw crash / omission / selective
     omission / delay / corruption / equivocation / babble events from a
     seeded per-trial RNG — compiled into a {!trial} list and executed by
-    a pool of OCaml 5 domains pulling from a mutex-protected queue.
+    a pool of OCaml 5 domains claiming chunks of trial indices off one
+    atomic counter.
 
     Determinism is load-bearing: every trial's schedule and runtime seed
     are derived from the campaign seed and the trial index {e at compile
@@ -181,9 +182,14 @@ val plan_key : seed:int -> params -> string
 
 (** The strategy cache. Keyed on the workload/topology identity plus
     {!Planner.config_key} of the resolved planner config; shared by the
-    worker domains behind a mutex. A cached [Error] (planner rejection)
-    is a hit like any other — hundreds of trials on an infeasible
-    configuration plan it exactly once. *)
+    worker domains, sharded by the {!Btr_util.Fnv} hash of the key into
+    16 independently locked hash-table buckets, so lookups are O(1) and
+    workers only contend when their keys collide on a shard. Hit/miss
+    counters live per shard, are bumped under the shard lock and are
+    summed under the locks on read — exact at any moment, even
+    mid-campaign. A cached [Error] (planner rejection) is a hit like
+    any other — hundreds of trials on an infeasible configuration plan
+    it exactly once. *)
 module Cache : sig
   type t
 

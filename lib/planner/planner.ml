@@ -54,6 +54,11 @@ let config_key c =
     (match c.reassignment with Minimal -> "minimal" | Naive -> "naive")
     shares
 
+(* FNV-1a rather than [Hashtbl.hash]: shard selectors derived from this
+   must agree across processes and OCaml versions, or a resharded cache
+   would silently change its contention profile between CI and hosts. *)
+let config_key_hash c = Fnv.hash (config_key c)
+
 type plan = {
   faulty : int list;
   aug : Augment.t;

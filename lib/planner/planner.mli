@@ -65,6 +65,11 @@ val config_key : config -> string
     equality of configs or closures. Covers every field, including the
     bandwidth shares. *)
 
+val config_key_hash : config -> int
+(** {!Btr_util.Fnv.hash} of {!config_key}: a stable, non-negative
+    bucket selector for sharded strategy caches. Equal configs hash
+    equal on every host and OCaml version (unlike [Hashtbl.hash]). *)
+
 type plan = {
   faulty : int list;  (** this mode's fault pattern, sorted *)
   aug : Augment.t;  (** augmented workload actually running *)

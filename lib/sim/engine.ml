@@ -1,7 +1,14 @@
 open Btr_util
 module Obs = Btr_obs.Obs
 
-type event = { at : Time.t; seq : int; fire : unit -> unit; cancelled : bool ref }
+(* A handle carries the shared live-event counter rather than the engine
+   itself: the event type sits inside the pairing-heap functor, so
+   pointing handles at [t] would close a type cycle through [Eq.t]. *)
+type counters = { mutable live : int }
+
+type handle = { mutable alive : bool; mutable queued : int; ctrs : counters }
+
+type event = { at : Time.t; seq : int; fire : unit -> unit; handle : handle }
 
 module Eq = Pheap.Make (struct
   type t = event
@@ -13,21 +20,23 @@ end)
 type t = {
   mutable clock : Time.t;
   mutable queue : Eq.t;
+  mutable queue_len : int;  (* events physically queued, cancelled included *)
   mutable next_seq : int;
   mutable processed : int;
+  ctrs : counters;
   rng : Rng.t;
   obs : Obs.t;
 }
-
-type handle = bool ref
 
 let create ?(seed = 1) ?obs () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     clock = Time.zero;
     queue = Eq.empty;
+    queue_len = 0;
     next_seq = 0;
     processed = 0;
+    ctrs = { live = 0 };
     rng = Rng.create seed;
     obs;
   }
@@ -36,18 +45,43 @@ let now t = t.clock
 let rng t = t.rng
 let obs t = t.obs
 
-let push t ~at ?cancelled fire =
-  let cancelled = match cancelled with Some c -> c | None -> ref false in
-  t.queue <- Eq.insert { at; seq = t.next_seq; fire; cancelled } t.queue;
+let new_handle t = { alive = true; queued = 0; ctrs = t.ctrs }
+
+(* Cancelled events stay in the heap until popped — unless they come to
+   dominate it. Long campaigns cancel periodic work wholesale (mode
+   switches, teardown), and every comparison a trial's hot loop makes
+   against a dead event is pure waste, so once the dead fraction crosses
+   1/2 (with a floor that keeps small queues out of it) the heap is
+   rebuilt from the live events only. (at, seq) ordering is total, so a
+   rebuild can never change which event fires next. *)
+let dead_floor = 64
+
+let maybe_compact t =
+  let dead = t.queue_len - t.ctrs.live in
+  if dead >= dead_floor && dead * 2 > t.queue_len then begin
+    let keep =
+      Eq.fold (fun acc ev -> if ev.handle.alive then ev :: acc else acc) [] t.queue
+    in
+    t.queue <- Eq.of_list keep;
+    t.queue_len <- t.ctrs.live
+  end
+
+let push t ~at h fire =
+  t.queue <- Eq.insert { at; seq = t.next_seq; fire; handle = h } t.queue;
   t.next_seq <- t.next_seq + 1;
-  cancelled
+  t.queue_len <- t.queue_len + 1;
+  h.queued <- h.queued + 1;
+  if h.alive then t.ctrs.live <- t.ctrs.live + 1;
+  maybe_compact t
 
 let schedule t ~at f =
   if Time.compare at t.clock < 0 then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%s is before now=%s"
          (Time.to_string at) (Time.to_string t.clock));
-  push t ~at (fun () -> f t)
+  let h = new_handle t in
+  push t ~at h (fun () -> f t);
+  h
 
 let schedule_in t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule_in: negative delay";
@@ -58,28 +92,40 @@ let every t ~period ?start f =
   let start =
     match start with Some s -> s | None -> Time.add t.clock period
   in
-  (* Every armed firing shares the one [stopped] ref as its per-event
-     cancel flag, so cancelling the handle also voids the firing already
-     sitting in the queue instead of leaving it live until its time. *)
-  let stopped = ref false in
-  let rec arm at =
-    ignore
-      (push t ~at ~cancelled:stopped (fun () ->
-           f t;
-           arm (Time.add at period)))
+  (* One handle guards every firing, so cancelling it also voids the
+     firing already sitting in the queue; one closure serves every
+     firing (the armed time lives in [next]), so re-arming allocates
+     only the event itself. *)
+  let h = new_handle t in
+  let next = ref start in
+  let rec tick () =
+    f t;
+    next := Time.add !next period;
+    push t ~at:!next h tick
   in
-  arm start;
-  stopped
+  push t ~at:start h tick;
+  h
 
-let cancel h = h := true
+let cancel h =
+  if h.alive then begin
+    h.alive <- false;
+    h.ctrs.live <- h.ctrs.live - h.queued
+  end
 
 let step t =
   match Eq.delete_min t.queue with
   | None -> false
   | Some (ev, rest) ->
     t.queue <- rest;
+    t.queue_len <- t.queue_len - 1;
+    let h = ev.handle in
+    h.queued <- h.queued - 1;
+    (* Checked on pop as well as push: a mass cancel followed by a pure
+       drain (no further pushes) must still shed its dead weight. *)
+    maybe_compact t;
     t.clock <- ev.at;
-    if not !(ev.cancelled) then begin
+    if h.alive then begin
+      t.ctrs.live <- t.ctrs.live - 1;
       t.processed <- t.processed + 1;
       ev.fire ()
     end;
@@ -101,6 +147,4 @@ let run ?(until = Time.infinity) t =
       (Obs.Run_finished { events = t.processed })
 
 let events_processed t = t.processed
-
-let pending t =
-  Eq.fold (fun acc ev -> if !(ev.cancelled) then acc else acc + 1) 0 t.queue
+let pending t = t.ctrs.live

@@ -59,4 +59,8 @@ val run : ?until:Time.t -> t -> unit
 val events_processed : t -> int
 
 val pending : t -> int
-(** Queued events that are still live (cancelled ones excluded). O(n). *)
+(** Queued events that are still live (cancelled ones excluded). O(1):
+    maintained as a counter on push/cancel/step, exact at all times.
+    Cancelled events are compacted out of the queue once they dominate
+    it; compaction is invisible — the (time, sequence) order is total,
+    so the firing order cannot change. *)

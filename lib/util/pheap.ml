@@ -20,11 +20,18 @@ module Make (Elt : ORDERED) = struct
 
   (* Two-pass pairing: merge siblings left-to-right in pairs, then fold
      the pair results right-to-left. This is the variant with the proven
-     amortized bounds. *)
-  let rec merge_pairs = function
-    | [] -> Empty
-    | [ h ] -> h
-    | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
+     amortized bounds. A heap built by n inserts can hold ~n siblings
+     under one root, so both passes must be iterative — the naive
+     recursion (one frame per pair) overflows the stack at production
+     event counts. The fold over the reversed pair list rebuilds the
+     exact right-to-left merge tree of the recursive definition. *)
+  let merge_pairs hs =
+    let rec pair acc = function
+      | [] -> acc
+      | [ h ] -> h :: acc
+      | h1 :: h2 :: rest -> pair (merge h1 h2 :: acc) rest
+    in
+    List.fold_left (fun acc h -> merge h acc) Empty (pair [] hs)
 
   let find_min = function Empty -> None | Node (x, _) -> Some x
 
@@ -32,13 +39,18 @@ module Make (Elt : ORDERED) = struct
     | Empty -> None
     | Node (x, hs) -> Some (x, merge_pairs hs)
 
-  let rec size = function
-    | Empty -> 0
-    | Node (_, hs) -> 1 + List.fold_left (fun acc h -> acc + size h) 0 hs
+  (* Iterative with an explicit worklist: heap depth is O(n) in the
+     worst case (descending inserts chain), so structural recursion is
+     as stack-unsafe here as it was in [merge_pairs]. *)
+  let fold f acc h =
+    let rec go acc = function
+      | [] -> acc
+      | Empty :: rest -> go acc rest
+      | Node (x, hs) :: rest -> go (f acc x) (List.rev_append hs rest)
+    in
+    go acc [ h ]
 
-  let rec fold f acc = function
-    | Empty -> acc
-    | Node (x, hs) -> List.fold_left (fold f) (f acc x) hs
+  let size h = fold (fun acc _ -> acc + 1) 0 h
 
   let to_sorted_list h =
     let rec drain acc h =

@@ -2,7 +2,10 @@
 
     Backs the simulator's event queue. Amortized O(1) insert/merge and
     O(log n) delete-min; being persistent makes checkpointing a
-    simulation state trivial. *)
+    simulation state trivial. Every operation is stack-safe: sibling
+    lists and heap chains both grow to O(n) under adversarial insert
+    orders, so [delete_min] and the traversals are iterative rather
+    than structurally recursive. *)
 
 module type ORDERED = sig
   type t

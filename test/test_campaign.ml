@@ -190,16 +190,24 @@ let prop_codec_roundtrip =
 (* --- determinism across worker counts ------------------------------- *)
 
 let prop_jobs_invariant =
-  QCheck.Test.make ~name:"verdicts identical for jobs=1 and jobs=4" ~count:5
+  (* The tentpole's regression guard: chunked index claiming and the
+     sharded plan cache must preserve byte-identical artifacts (verdict
+     lines, counters, fingerprint) for every worker count. Trial counts
+     vary with the seed so the chunking edges (n < jobs, n = jobs,
+     chunk > 1 remainders) all get exercised. *)
+  QCheck.Test.make ~name:"artifacts identical for jobs in {1,2,4,8}" ~count:50
     QCheck.(map (fun s -> abs s) small_int)
     (fun seed ->
       let spec =
-        Campaign.spec ~grid:two_axis_grid ~trials:6 ~seed ~shrink:false ()
+        Campaign.spec ~grid:two_axis_grid
+          ~trials:(4 + (seed mod 5))
+          ~seed ~shrink:false ()
       in
-      let a = Campaign.run ~jobs:1 spec and b = Campaign.run ~jobs:4 spec in
-      Campaign.fingerprint a = Campaign.fingerprint b
-      && List.map Campaign.verdict_json a.Campaign.verdicts
-         = List.map Campaign.verdict_json b.Campaign.verdicts)
+      let base = Campaign.run ~jobs:1 spec in
+      let lines = Campaign.result_json_lines base in
+      List.for_all
+        (fun jobs -> Campaign.result_json_lines (Campaign.run ~jobs spec) = lines)
+        [ 2; 4; 8 ])
 
 let test_full_artifact_jobs_invariant () =
   (* the whole artifact must not depend on the worker count. This seed
@@ -252,6 +260,27 @@ let test_plan_cache_shared () =
   (* 4 configs -> 4 plans, everything else must hit *)
   check_int "misses = configs" 4 result.Campaign.cache_misses;
   check_bool "hits cover the rest" true (result.Campaign.cache_hits >= 12)
+
+let test_cache_counters_exact () =
+  (* The per-shard hit/miss counters are bumped under the shard lock
+     and summed under the locks on read, so totals are exact, not
+     best-effort: with shrinking off and a violation-free fixture the
+     cache is consulted exactly once per trial, at any worker count. *)
+  List.iter
+    (fun jobs ->
+      let spec =
+        Campaign.spec ~grid:two_axis_grid ~trials:16 ~seed:2 ~shrink:false ()
+      in
+      let r = Campaign.run ~jobs spec in
+      check_bool "fixture stays violation-free" true (r.Campaign.violations = []);
+      check_int
+        (Printf.sprintf "hits + misses = trials at jobs=%d" jobs)
+        16
+        (r.Campaign.cache_hits + r.Campaign.cache_misses);
+      check_int
+        (Printf.sprintf "misses = configs at jobs=%d" jobs)
+        4 r.Campaign.cache_misses)
+    [ 1; 4 ]
 
 let test_plan_key_semantics () =
   let base = Campaign.default_params in
@@ -487,6 +516,8 @@ let suite =
       test_full_artifact_jobs_invariant;
     Alcotest.test_case "shrunk violations replay" `Quick test_shrunk_violations_replay;
     Alcotest.test_case "plan cache shared across trials" `Quick test_plan_cache_shared;
+    Alcotest.test_case "cache counters exact at jobs 1 and 4" `Quick
+      test_cache_counters_exact;
     Alcotest.test_case "plan_key semantics" `Quick test_plan_key_semantics;
     Alcotest.test_case "shrinker minimizes known violation" `Quick
       test_shrinker_minimizes_known_violation;

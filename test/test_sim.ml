@@ -141,6 +141,38 @@ let test_periodic_cancel_drops_pending () =
   Engine.run ~until:(Time.ms 15) e;
   check_int "armed firing no longer pending" 0 (Engine.pending e)
 
+(* pending is now a live-event counter, not an O(n) fold; it must stay
+   exact across cancel-heavy periodic workloads — every alive [every]
+   handle keeps exactly one armed firing queued, cancellation voids it
+   immediately, and the dead-event compaction the storm triggers must
+   not perturb the count. *)
+let test_pending_exact_under_cancel_storm () =
+  let e = Engine.create () in
+  let n = 512 in
+  let hs =
+    Array.init n (fun i ->
+        Engine.every e ~period:(Time.ms ((i mod 9) + 1)) (fun _ -> ()))
+  in
+  check_int "one armed firing per periodic" n (Engine.pending e);
+  (* kill 3/4 up front: enough dead mass to cross the compaction
+     threshold once the survivors start re-arming *)
+  for i = 0 to n - 1 do
+    if i mod 4 <> 0 then Engine.cancel hs.(i)
+  done;
+  check_int "cancel voids armed firings immediately" (n / 4) (Engine.pending e);
+  (* double-cancel must not double-count *)
+  for i = 0 to n - 1 do
+    if i mod 4 <> 0 then Engine.cancel hs.(i)
+  done;
+  check_int "cancel is idempotent" (n / 4) (Engine.pending e);
+  Engine.run ~until:(Time.ms 50) e;
+  check_int "survivors re-arm exactly one firing each" (n / 4) (Engine.pending e);
+  ignore
+    (Engine.schedule e ~at:(Time.ms 60) (fun _ -> Array.iter Engine.cancel hs));
+  Engine.run ~until:(Time.ms 70) e;
+  check_int "mid-run mass cancel drains pending to zero" 0 (Engine.pending e);
+  check_bool "cancelled backlog never fires" true (Engine.events_processed e > 0)
+
 let prop_events_fire_in_order =
   QCheck.Test.make ~name:"random events always fire in nondecreasing time order"
     ~count:100
@@ -172,5 +204,6 @@ let suite =
     ("obs records run start/finish", `Quick, test_obs_run_events);
     ("obs disabled by default", `Quick, test_obs_default_disabled);
     ("periodic cancel drops armed firing", `Quick, test_periodic_cancel_drops_pending);
+    ("pending exact under cancel storm", `Quick, test_pending_exact_under_cancel_storm);
     QCheck_alcotest.to_alcotest prop_events_fire_in_order;
   ]

@@ -111,6 +111,60 @@ let test_pheap_fold () =
   check_int "fold sums every element" 13 (Ih.fold ( + ) 0 h);
   check_int "fold on empty" 0 (Ih.fold ( + ) 0 Ih.empty)
 
+(* Drain a heap checking only order and count — no materialized list, so
+   the memory load at production scale stays flat. *)
+let drain_sorted h =
+  let count = ref 0 and last = ref min_int and sorted = ref true in
+  let rec go h =
+    match Ih.delete_min h with
+    | None -> ()
+    | Some (x, h') ->
+      if x < !last then sorted := false;
+      last := x;
+      incr count;
+      go h'
+  in
+  go h;
+  (!count, !sorted)
+
+(* merge_pairs used to recurse once per sibling pair, and ascending
+   inserts park every element in one root-level sibling list — so the
+   first delete_min at production-scale event counts overflowed the
+   stack. Descending inserts instead chain the heap n deep, which the
+   traversals (fold/size) must also survive. Both shapes at 1M. *)
+let test_pheap_million_drain () =
+  let n = 1_000_000 in
+  let asc = ref Ih.empty in
+  for i = 1 to n do
+    asc := Ih.insert i !asc
+  done;
+  let count, sorted = drain_sorted !asc in
+  check_int "ascending: all drained" n count;
+  check_bool "ascending: nondecreasing" true sorted;
+  let desc = ref Ih.empty in
+  for i = n downto 1 do
+    desc := Ih.insert i !desc
+  done;
+  check_int "descending: fold survives the chain" n (Ih.fold (fun a _ -> a + 1) 0 !desc);
+  check_int "descending: size agrees" n (Ih.size !desc);
+  let count, sorted = drain_sorted !desc in
+  check_int "descending: all drained" n count;
+  check_bool "descending: nondecreasing" true sorted
+
+let prop_pheap_order_at_depth =
+  (* Heap order holds at depth: successive delete-min values never
+     decrease over random insert streams well past toy sizes. *)
+  QCheck.Test.make ~name:"pheap delete-min is nondecreasing at depth" ~count:20
+    QCheck.(pair (int_range 1 5_000) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create (seed + 1) in
+      let h = ref Ih.empty in
+      for _ = 1 to n do
+        h := Ih.insert (Rng.int rng 1_000_000) !h
+      done;
+      let count, sorted = drain_sorted !h in
+      count = n && sorted)
+
 (* Random interleaving of inserts and delete-mins against a sorted-list
    model: catches heap-shape bugs plain drain-after-build misses. *)
 let prop_pheap_interleaved =
@@ -212,6 +266,7 @@ let suite =
     ("pheap merge", `Quick, test_pheap_merge);
     ("pheap persistent", `Quick, test_pheap_persistent);
     ("pheap fold", `Quick, test_pheap_fold);
+    ("pheap 1M-element drain (no stack overflow)", `Slow, test_pheap_million_drain);
     ("stats summary", `Quick, test_stats_summary);
     ("stats percentile", `Quick, test_stats_percentile);
     ("stats histogram", `Quick, test_stats_histogram);
@@ -220,5 +275,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_pheap_sorts;
     QCheck_alcotest.to_alcotest prop_pheap_interleaved;
     QCheck_alcotest.to_alcotest prop_pheap_merge_is_union;
+    QCheck_alcotest.to_alcotest prop_pheap_order_at_depth;
     QCheck_alcotest.to_alcotest prop_percentile_within_range;
   ]

@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --campaign        # campaign throughput
      dune exec bench/main.exe -- --campaign --json # + BENCH_campaign.json
      dune exec bench/main.exe -- --engine --json   # + BENCH_engine.json
+     dune exec bench/main.exe -- --planner --json  # + BENCH_planner.json
+     dune exec bench/main.exe -- --planner --planner-max 1000  # CI smoke
      dune exec bench/main.exe -- --trace t.jsonl --metrics m.json
        # trace the demo deployment instead of running experiments  *)
 
@@ -40,6 +42,8 @@ let () =
   let micro = ref false in
   let campaign = ref false in
   let engine = ref false in
+  let planner = ref false in
+  let planner_max = ref None in
   let json = ref false in
   let trace = ref None in
   let metrics = ref None in
@@ -53,6 +57,12 @@ let () =
       collect acc rest
     | "--engine" :: rest ->
       engine := true;
+      collect acc rest
+    | "--planner" :: rest ->
+      planner := true;
+      collect acc rest
+    | "--planner-max" :: n :: rest ->
+      planner_max := int_of_string_opt n;
       collect acc rest
     | "--json" :: rest ->
       json := true;
@@ -78,12 +88,17 @@ let () =
     Engine_bench.run
       ?json_file:(if !json then Some "BENCH_engine.json" else None)
       ();
+  if !planner then
+    Planner_bench.run
+      ?json_file:(if !json then Some "BENCH_planner.json" else None)
+      ?max_nodes:!planner_max ();
   if !trace <> None || !metrics <> None then
     trace_demo ~trace:!trace ~metrics:!metrics
   else begin
     let selected =
       match wanted with
-      | [] -> if !micro || !campaign || !engine then [] else Experiments.all
+      | [] ->
+        if !micro || !campaign || !engine || !planner then [] else Experiments.all
       | names ->
         List.filter_map
           (fun n ->

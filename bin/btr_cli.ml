@@ -15,6 +15,7 @@ module Generators = Btr_workload.Generators
 module Topology = Btr_net.Topology
 module Planner = Btr_planner.Planner
 module Check = Btr_check.Check
+module Incr = Btr_check.Incr
 module Fault = Btr_fault.Fault
 
 let workload_of_name name ~nodes ~seed =
@@ -213,11 +214,86 @@ let run_cmd =
       const run $ workload_arg $ topology_arg $ nodes_arg $ f_arg $ r_arg
       $ seed_arg $ faults $ horizon $ trace_arg $ metrics_arg)
 
+(* Replay an edit script against the incremental verifier: one edit per
+   line in Incr.parse_edit syntax, blank lines and #-comments skipped.
+   Each applied edit reports the diagnostics that appeared/disappeared
+   and how much plan reuse the delta engine achieved; the final report
+   is identical to a from-scratch `btr check` of the edited system. *)
+let check_delta workload topology nodes f r seed json file =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "error: %s\n" m; 1) fmt in
+  match workload_of_name workload ~nodes ~seed with
+  | Error m -> fail "%s" m
+  | Ok g -> (
+    match topology_of_name topology ~nodes with
+    | Error m -> fail "%s" m
+    | Ok topo -> (
+      let cfg = Planner.default_config ~f ~recovery_bound:(Time.ms r) in
+      match Incr.init cfg g topo with
+      | Error e -> fail "%s" (Format.asprintf "%a" Planner.pp_error e)
+      | Ok st0 -> (
+        match In_channel.with_open_text file In_channel.input_lines with
+        | exception Sys_error m -> fail "%s" m
+        | lines ->
+          let st = ref st0 and line_no = ref 0 and failed = ref None in
+          List.iter
+            (fun line ->
+              incr line_no;
+              let line = String.trim line in
+              if !failed = None && line <> "" && line.[0] <> '#' then
+                match Incr.parse_edit line with
+                | Error m ->
+                  failed := Some (Printf.sprintf "%s:%d: %s" file !line_no m)
+                | Ok edit -> (
+                  match Incr.apply !st edit with
+                  | Error e ->
+                    failed :=
+                      Some
+                        (Format.asprintf "%s:%d: %a" file !line_no
+                           Incr.pp_apply_error e)
+                  | Ok (st', delta) ->
+                    st := st';
+                    if not json then begin
+                      Format.printf "@[<v2>%d: %s@,%a" !line_no
+                        (Incr.edit_to_string edit) Incr.pp_report_delta delta;
+                      (match Incr.last_plan_delta st' with
+                      | Some d ->
+                        Format.printf
+                          "@,plan: %d/%d modes reused, %d tasks moved"
+                          d.Planner.reused_modes
+                          (d.Planner.reused_modes + d.Planner.replanned_modes)
+                          d.Planner.churn_moved_tasks
+                      | None -> ());
+                      Format.printf "@]@."
+                    end))
+            lines;
+          (match !failed with
+          | Some m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+          | None ->
+            let report = Incr.report !st in
+            if json then print_endline (Check.report_to_json report)
+            else begin
+              let s = Incr.memo_stats !st in
+              let hits =
+                s.Incr.static_hits + s.Incr.reserve_hits + s.Incr.rta_hits
+                + s.Incr.sched_hits + s.Incr.routes_hits + s.Incr.evb_hits
+                + s.Incr.cuts_hits
+              and misses =
+                s.Incr.static_misses + s.Incr.reserve_misses + s.Incr.rta_misses
+                + s.Incr.sched_misses + s.Incr.routes_misses + s.Incr.evb_misses
+                + s.Incr.cuts_misses
+              in
+              Format.printf "memo: %d hits, %d misses over the script@.%a@."
+                hits misses Check.pp_report report
+            end;
+            if Check.passed report then 0 else 1))))
+
 let check_cmd =
   let doc =
     "Statically verify a strategy's recovery obligations (Definition 3.1)."
   in
-  let run workload topology nodes f r seed json list_codes trace metrics =
+  let run workload topology nodes f r seed json list_codes delta trace metrics =
     if list_codes then begin
       List.iter
         (fun c ->
@@ -228,6 +304,9 @@ let check_cmd =
       0
     end
     else
+      match delta with
+      | Some file -> check_delta workload topology nodes f r seed json file
+      | None -> (
       match build_strategy workload topology nodes f r seed with
       | Error m ->
         Printf.eprintf "error: %s\n" m;
@@ -237,7 +316,7 @@ let check_cmd =
             let report = Check.verify ?obs s in
             if json then print_endline (Check.report_to_json report)
             else Format.printf "%a@." Check.pp_report report;
-            if Check.passed report then 0 else 1)
+            if Check.passed report then 0 else 1))
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON object.")
@@ -247,10 +326,21 @@ let check_cmd =
       value & flag
       & info [ "codes" ] ~doc:"List every diagnostic code and exit.")
   in
+  let delta =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "delta" ] ~docv:"FILE"
+          ~doc:
+            "Replay the edit script in $(docv) (one edit per line, e.g. \
+             'retune-flow 3 size=128'; blank lines and # comments skipped) \
+             through the incremental verifier, reporting per-edit diagnostic \
+             deltas and the final report.")
+  in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ workload_arg $ topology_arg $ nodes_arg $ f_arg $ r_arg
-      $ seed_arg $ json $ list_codes $ trace_arg $ metrics_arg)
+      $ seed_arg $ json $ list_codes $ delta $ trace_arg $ metrics_arg)
 
 let workloads_cmd =
   let doc = "List built-in workloads and show their structure." in

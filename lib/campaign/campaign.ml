@@ -216,6 +216,17 @@ let plan_key ~seed p =
     p.bandwidth_bps (workload_seed seed)
     (Planner.config_key (resolved_config p))
 
+(* The same key with the requested R zeroed out: R is the one config
+   field planning never reads, so two grid points differing only in R
+   share plans and schedules — only the verifier's admission answer can
+   differ. R-sweep campaigns use this to plan each base config once and
+   derive the neighbors via [Planner.with_recovery_bound]. *)
+let base_plan_key ~seed p =
+  Printf.sprintf "%s|%s|n=%d|bw=%d|ws=%d|%s" p.workload p.topology p.nodes
+    p.bandwidth_bps (workload_seed seed)
+    (Planner.config_key
+       { (resolved_config p) with Planner.recovery_bound = Time.zero })
+
 let period_of ~seed p =
   match workload_of ~seed p with
   | Ok g -> Graph.period g
@@ -408,7 +419,16 @@ module Cache = struct
     lock : Mutex.t;
   }
 
-  type t = { seed : int; shards : shard array }
+  type t = {
+    seed : int;
+    shards : shard array;
+    (* First fully-planned strategy per R-stripped config, for deriving
+       R-grid neighbors without replanning. Guarded by [base_lock];
+       lock order is always shard lock, then base lock. *)
+    by_base : (string, Planner.t) Hashtbl.t;
+    base_lock : Mutex.t;
+    mutable derived_strategies : int;
+  }
 
   let create ~seed =
     {
@@ -416,6 +436,9 @@ module Cache = struct
       shards =
         Array.init shard_count (fun _ ->
             { table = Hashtbl.create 16; hits = 0; misses = 0; lock = Mutex.create () });
+      by_base = Hashtbl.create 16;
+      base_lock = Mutex.create ();
+      derived_strategies = 0;
     }
 
   let build ~seed p =
@@ -437,6 +460,16 @@ module Cache = struct
 
   let shard_of t key = t.shards.(Fnv.hash key land (shard_count - 1))
 
+  (* Admission gate for a derived strategy, mirroring the one inside
+     [Scenario.plan] that [build] runs: the static verifier with the
+     default runtime strike threshold, errors formatted identically. *)
+  let admit strategy =
+    let strikes = Btr.Runtime.default_config.Btr.Runtime.omission_strikes in
+    let report = Btr_check.Check.verify ~strikes strategy in
+    match Btr_check.Check.to_planner_error report with
+    | None -> Ok strategy
+    | Some e -> Error (Format.asprintf "%a" Planner.pp_error e)
+
   (* Planning happens while holding the shard lock: the planner is fast
      (<100ms for every grid point we generate), building a config twice
      would waste more than the lock hold costs, and only workers whose
@@ -451,7 +484,31 @@ module Cache = struct
       Mutex.unlock s.lock;
       v
     | None -> (
-      match build ~seed:t.seed p with
+      let produce () =
+        let bkey = base_plan_key ~seed:t.seed p in
+        Mutex.lock t.base_lock;
+        let base = Hashtbl.find_opt t.by_base bkey in
+        Mutex.unlock t.base_lock;
+        match base with
+        | Some b ->
+          (* An R-grid neighbor of an already-planned config: reuse its
+             plans in O(1) and replay only the R-dependent admission. *)
+          Mutex.lock t.base_lock;
+          t.derived_strategies <- t.derived_strategies + 1;
+          Mutex.unlock t.base_lock;
+          admit (Planner.with_recovery_bound b p.r)
+        | None ->
+          let v = build ~seed:t.seed p in
+          (match v with
+          | Ok strategy ->
+            Mutex.lock t.base_lock;
+            if not (Hashtbl.mem t.by_base bkey) then
+              Hashtbl.add t.by_base bkey strategy;
+            Mutex.unlock t.base_lock
+          | Error _ -> ());
+          v
+      in
+      match produce () with
       | v ->
         Hashtbl.replace s.table key v;
         s.misses <- s.misses + 1;
@@ -475,6 +532,12 @@ module Cache = struct
 
   let hits t = sum_locked (fun s -> s.hits) t
   let misses t = sum_locked (fun s -> s.misses) t
+
+  let derived t =
+    Mutex.lock t.base_lock;
+    let v = t.derived_strategies in
+    Mutex.unlock t.base_lock;
+    v
 end
 
 let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)

@@ -200,6 +200,15 @@ module Cache : sig
   val strategy : t -> params -> (Planner.t, string) Stdlib.result
   val hits : t -> int
   val misses : t -> int
+
+  val derived : t -> int
+  (** Strategies served by O(1) R-derivation: the requested config
+      differed from an already-planned one only in [recovery_bound], so
+      the cached base was retuned with
+      {!Planner.with_recovery_bound} and re-admitted through the static
+      verifier instead of being planned from scratch. Grid neighbours
+      along the R axis hit this path. Counted as misses by {!misses}
+      (the full key was absent); this counter refines them. *)
 end
 
 val default_jobs : unit -> int

@@ -69,7 +69,22 @@ let code_id = function
   | Evidence_unroutable -> "BTR-E403"
   | Evidence_budget_dominant -> "BTR-W404"
 
-let code_of_id id = List.find_opt (fun c -> code_id c = id) all_codes
+(* Total inverse of [code_id] over [all_codes], built once from the
+   list itself so a new constructor cannot desync the two: extending
+   [code] without extending [all_codes] is caught by the exhaustiveness
+   check below (and by the round-trip unit test). *)
+let code_of_id =
+  let table = List.map (fun c -> (code_id c, c)) all_codes in
+  fun id -> List.assoc_opt id table
+
+let () =
+  (* Tripwire at module init: every listed code must round-trip. *)
+  List.iter
+    (fun c ->
+      match code_of_id (code_id c) with
+      | Some c' when c' = c -> ()
+      | _ -> invalid_arg "Check.code_of_id: all_codes and code_id desynced")
+    all_codes
 
 let severity_of = function
   | Link_oversubscribed | Data_reserve_exceeded | Node_overutilized
@@ -222,6 +237,29 @@ let diagnostic_to_json d =
   encode_diagnostic b d;
   Buffer.contents b
 
+(* Stable total order on diagnostics for the JSON rendering: severity
+   (errors first), then code, locus, message. Insensitive to check
+   emission order, so two byte-identical reports stay byte-identical in
+   JSON even if the verifier's internal sweep order ever changes. *)
+let compare_diagnostic d1 d2 =
+  let sev c = match severity_of c with Error -> 0 | Warning -> 1 in
+  let cmp_opt cmp a b =
+    match (a, b) with
+    | None, None -> 0
+    | None, Some _ -> -1
+    | Some _, None -> 1
+    | Some x, Some y -> cmp x y
+  in
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  Int.compare (sev d1.code) (sev d2.code) <?> fun () ->
+  String.compare (code_id d1.code) (code_id d2.code) <?> fun () ->
+  cmp_opt (List.compare Int.compare) d1.locus.faulty d2.locus.faulty <?> fun () ->
+  cmp_opt Int.compare d1.locus.node d2.locus.node <?> fun () ->
+  cmp_opt Int.compare d1.locus.flow d2.locus.flow <?> fun () ->
+  cmp_opt Int.compare d1.locus.link d2.locus.link <?> fun () ->
+  cmp_opt Int.compare d1.locus.new_fault d2.locus.new_fault <?> fun () ->
+  String.compare d1.message d2.message
+
 let report_to_json r =
   let b = Buffer.create 512 in
   Buffer.add_string b
@@ -232,7 +270,7 @@ let report_to_json r =
     (fun i d ->
       if i > 0 then Buffer.add_char b ',';
       encode_diagnostic b d)
-    r.diagnostics;
+    (List.stable_sort compare_diagnostic r.diagnostics);
   Buffer.add_string b "]}";
   Buffer.contents b
 
@@ -267,33 +305,48 @@ let xfer_oracle v ~faulty ~cls ~src ~dst ~size_bytes =
       ~avoid:faulty ~cls ~src ~dst ~size_bytes ()
 
 (* Worst-case pairwise control-class latency among survivors — the same
-   decomposition the planner admits transitions against (§4.3). *)
+   decomposition the planner admits transitions against (§4.3). One
+   cost-accumulating BFS per source replaces the per-pair route+fold:
+   identical routes (see {!Topology.paths_from}), identical per-pair
+   sums, identical max — at O(n·memberships) per fault set instead of
+   O(n³). *)
 let evidence_bound v ~faulty =
+  let shares = shares_of v in
   let alive = alive_of v faulty in
+  let usable n = not (List.mem n faulty) in
+  let link_cost =
+    Net.link_transfer_time shares ~cls:Net.Control
+      ~size_bytes:v.config.Planner.evidence_size
+  in
   List.fold_left
     (fun acc a ->
+      let costs = Topology.cost_from v.topology ~usable ~src:a ~link_cost in
       List.fold_left
         (fun acc b ->
           if a = b then acc
           else
-            match
-              xfer_oracle v ~faulty ~cls:Net.Control ~src:a ~dst:b
-                ~size_bytes:v.config.Planner.evidence_size
-            with
+            match Hashtbl.find_opt costs b with
             | Some d -> Time.max acc d
             | None -> acc)
         acc alive)
     Time.zero alive
 
+(* Each verification unit returns its diagnostics as a list, in the
+   order the old push-based checks emitted them. [verify_units]
+   composes the units; {!Incr} substitutes memoizing wrappers for the
+   same functions, so incremental and from-scratch verification run
+   literally the same code on a memo miss — the equivalence guarantee
+   is by construction, not by parallel implementation. *)
+
 (* (a) Static reservations fit inside every link (babbling-idiot guard). *)
-let check_link_capacity v push =
+let link_capacity_diags v =
   let s = shares_of v in
-  List.iter
+  List.filter_map
     (fun (l : Topology.link) ->
       let members = float_of_int (List.length l.members) in
       let total = members *. (s.Net.data_frac +. s.Net.control_frac) in
       if total > 1.0 +. 1e-9 then
-        push
+        Some
           {
             code = Link_oversubscribed;
             message =
@@ -302,83 +355,84 @@ let check_link_capacity v push =
                 l.link_id (List.length l.members) s.Net.data_frac
                 s.Net.control_frac (100. *. total);
             locus = { no_locus with link = Some l.link_id };
-          })
+          }
+      else None)
     (Topology.links v.topology)
 
 (* (a') Per mode: the data bytes each sender pushes per period fit its
    reserved slice on every link its routes traverse. *)
-let check_data_reserves v push =
+let data_reserve_diags v (p : Planner.plan) =
   let shares = shares_of v in
+  let g = p.Planner.aug.Augment.graph in
+  let period = Graph.period g in
+  (* (sender, link_id) -> bytes per period, plus one witness flow *)
+  let demand = Hashtbl.create 64 in
   List.iter
-    (fun (p : Planner.plan) ->
-      let g = p.Planner.aug.Augment.graph in
-      let period = Graph.period g in
-      (* (sender, link_id) -> bytes per period, plus one witness flow *)
-      let demand = Hashtbl.create 64 in
-      List.iter
-        (fun (fl : Graph.flow) ->
-          match
-            ( List.assoc_opt fl.producer p.Planner.assignment,
-              List.assoc_opt fl.consumer p.Planner.assignment )
-          with
-          | Some src, Some dst when src <> dst -> (
-            match
-              Topology.route_avoiding v.topology ~avoid:p.Planner.faulty ~src ~dst
-            with
-            | None -> ()
-            | Some path ->
-              let here = ref src in
-              List.iter
-                (fun (link : Topology.link) ->
-                  let k = (!here, link.link_id) in
-                  let bytes, _ =
-                    Option.value ~default:(0, fl.flow_id) (Hashtbl.find_opt demand k)
-                  in
-                  Hashtbl.replace demand k (bytes + fl.msg_size, fl.flow_id);
-                  here := Topology.next_hop_node v.topology ~here:!here ~link ~dst)
-                path)
-          | _ -> ())
-        (Graph.flows g);
-      Table.sorted_iter
-        ~cmp:(fun (n1, l1) (n2, l2) ->
-          match Int.compare n1 n2 with 0 -> Int.compare l1 l2 | c -> c)
-        (fun (sender, link_id) (bytes, witness) ->
-          let link = Topology.find_link v.topology link_id in
-          let rate = Net.reservation_rate shares link Net.Data in
-          (* bytes per period vs. rate bytes/s: demand in bytes/s *)
-          let demand_bps = bytes * 1_000_000 / Stdlib.max 1 period in
-          if demand_bps > rate then
-            push
+    (fun (fl : Graph.flow) ->
+      match
+        ( List.assoc_opt fl.producer p.Planner.assignment,
+          List.assoc_opt fl.consumer p.Planner.assignment )
+      with
+      | Some src, Some dst when src <> dst -> (
+        match
+          Topology.route_avoiding v.topology ~avoid:p.Planner.faulty ~src ~dst
+        with
+        | None -> ()
+        | Some path ->
+          let here = ref src in
+          List.iter
+            (fun (link : Topology.link) ->
+              let k = (!here, link.link_id) in
+              let bytes, _ =
+                Option.value ~default:(0, fl.flow_id) (Hashtbl.find_opt demand k)
+              in
+              Hashtbl.replace demand k (bytes + fl.msg_size, fl.flow_id);
+              here := Topology.next_hop_node v.topology ~here:!here ~link ~dst)
+            path)
+      | _ -> ())
+    (Graph.flows g);
+  let out = ref [] in
+  Table.sorted_iter
+    ~cmp:(fun (n1, l1) (n2, l2) ->
+      match Int.compare n1 n2 with 0 -> Int.compare l1 l2 | c -> c)
+    (fun (sender, link_id) (bytes, witness) ->
+      let link = Topology.find_link v.topology link_id in
+      let rate = Net.reservation_rate shares link Net.Data in
+      (* bytes per period vs. rate bytes/s: demand in bytes/s *)
+      let demand_bps = bytes * 1_000_000 / Stdlib.max 1 period in
+      if demand_bps > rate then
+        out :=
+          {
+            code = Data_reserve_exceeded;
+            message =
+              Printf.sprintf
+                "node %d on link %d: %dB per period needs %dB/s, reserve is %dB/s"
+                sender link_id bytes demand_bps rate;
+            locus =
               {
-                code = Data_reserve_exceeded;
-                message =
-                  Printf.sprintf
-                    "node %d on link %d: %dB per period needs %dB/s, reserve is %dB/s"
-                    sender link_id bytes demand_bps rate;
-                locus =
-                  {
-                    no_locus with
-                    faulty = Some p.Planner.faulty;
-                    node = Some sender;
-                    flow = Some witness;
-                    link = Some link_id;
-                  };
-              })
-        demand)
-    v.plans
+                no_locus with
+                faulty = Some p.Planner.faulty;
+                node = Some sender;
+                flow = Some witness;
+                link = Some link_id;
+              };
+          }
+          :: !out)
+    demand;
+  List.rev !out
 
 (* (a'') Control reservations can carry one evidence record per period. *)
-let check_control_reserves v push =
+let control_reserve_diags v =
   let s = shares_of v in
   let period = Graph.period v.workload in
-  List.iter
+  List.filter_map
     (fun (l : Topology.link) ->
       let rate = Net.reservation_rate s l Net.Control in
       let serialize =
         Stdlib.max 1 (v.config.Planner.evidence_size * 1_000_000 / rate)
       in
       if Time.compare serialize period > 0 then
-        push
+        Some
           {
             code = Control_reserve_tight;
             message =
@@ -387,104 +441,141 @@ let check_control_reserves v push =
                 l.link_id v.config.Planner.evidence_size (Time.to_string serialize)
                 (Time.to_string period);
             locus = { no_locus with link = Some l.link_id };
-          })
+          }
+      else None)
     (Topology.links v.topology)
 
-(* (b) Per-mode, per-node schedulability via classical analysis, plus
-   independent re-validation of the static tables. *)
-let check_schedulability v push =
+(* (b) Per-mode, per-node schedulability via classical analysis.
+   [rta_inputs] extracts, per alive node, exactly what response-time
+   analysis reads: the (task, wcet, deadline) triples in assignment
+   order. The memo layer keys on a fingerprint of those triples — a
+   flow-size retune leaves them unchanged and hits. *)
+let rta_inputs v (p : Planner.plan) =
+  let g = p.Planner.aug.Augment.graph in
+  let period = Graph.period g in
+  let alive = alive_of v p.Planner.faulty in
+  (* RTA deadline: the period, tightened by any sink flow the task
+     produces (advisory — the deployed tables are time-triggered,
+     and a fixed table can order around interference that
+     deadline-monotonic analysis must assume). *)
+  let deadline_of tid =
+    List.fold_left
+      (fun acc (fl : Graph.flow) ->
+        match fl.deadline with
+        | Some d when Time.compare d acc < 0 -> d
+        | _ -> acc)
+      period (Graph.consumers_of g tid)
+  in
+  (* Group the assignment by node in one pass, preserving assignment
+     order within each node — the same per-node lists the old
+     per-node filter produced, without the nodes × tasks scan. *)
+  let by_node : (int, (Task.id * Time.t * Time.t) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
   List.iter
-    (fun (p : Planner.plan) ->
-      let g = p.Planner.aug.Augment.graph in
-      let period = Graph.period g in
-      let alive = alive_of v p.Planner.faulty in
-      (* RTA deadline: the period, tightened by any sink flow the task
-         produces (advisory — the deployed tables are time-triggered,
-         and a fixed table can order around interference that
-         deadline-monotonic analysis must assume). *)
-      let deadline_of tid =
-        List.fold_left
-          (fun acc (fl : Graph.flow) ->
-            match fl.deadline with
-            | Some d when Time.compare d acc < 0 -> d
-            | _ -> acc)
-          period (Graph.consumers_of g tid)
-      in
-      List.iter
-        (fun node ->
-          let assigned =
-            List.filter_map
-              (fun (tid, n) ->
-                if n = node then Some (tid, (Graph.task g tid).Task.wcet)
-                else None)
-              p.Planner.assignment
-          in
-          match assigned with
-          | [] -> ()
-          | _ ->
-            let ts =
-              List.map
-                (fun (tid, wcet) ->
-                  Analysis.task ~wcet ~period ~deadline:(deadline_of tid) ())
-                assigned
-            in
-            let u = Analysis.utilization ts in
-            if u > 1.0 +. 1e-9 then
-              push
-                {
-                  code = Node_overutilized;
-                  message =
-                    Printf.sprintf "node %d: utilization %.3f > 1 (%d tasks)"
-                      node u (List.length ts);
-                  locus =
-                    { no_locus with faulty = Some p.Planner.faulty; node = Some node };
-                }
-            else if not (Analysis.fp_schedulable ts) then
-              push
-                {
-                  code = Response_time_divergent;
-                  message =
-                    Printf.sprintf
-                      "node %d: fixed-priority response times exceed deadlines (util %.3f)"
-                      node u;
-                  locus =
-                    { no_locus with faulty = Some p.Planner.faulty; node = Some node };
-                })
-        alive;
-      let xfer ~src ~dst ~size_bytes =
-        xfer_oracle v ~faulty:p.Planner.faulty ~cls:Net.Data ~src ~dst ~size_bytes
-      in
-      match Schedule.validate p.Planner.schedule g ~xfer with
-      | exception Invalid_argument msg ->
-        (* A table referencing tasks the mode's graph does not declare
-           is invalid, not a verifier crash. *)
-        push
-          {
-            code = Schedule_invalid;
-            message = msg;
-            locus = { no_locus with faulty = Some p.Planner.faulty };
-          }
-      | Ok () -> ()
-      | Error msg ->
-        push
-          {
-            code = Schedule_invalid;
-            message = msg;
-            locus = { no_locus with faulty = Some p.Planner.faulty };
-          })
-    v.plans
+    (fun (tid, n) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_node n) in
+      Hashtbl.replace by_node n
+        ((tid, (Graph.task g tid).Task.wcet, deadline_of tid) :: prev))
+    p.Planner.assignment;
+  List.filter_map
+    (fun node ->
+      match Hashtbl.find_opt by_node node with
+      | None | Some [] -> None
+      | Some rev -> Some (node, List.rev rev))
+    alive
+
+let node_rta_diags _v (p : Planner.plan) ~node ~tasks =
+  let g = p.Planner.aug.Augment.graph in
+  let period = Graph.period g in
+  let ts =
+    List.map (fun (_, wcet, deadline) -> Analysis.task ~wcet ~period ~deadline ()) tasks
+  in
+  let u = Analysis.utilization ts in
+  if u > 1.0 +. 1e-9 then
+    [
+      {
+        code = Node_overutilized;
+        message =
+          Printf.sprintf "node %d: utilization %.3f > 1 (%d tasks)" node u
+            (List.length ts);
+        locus = { no_locus with faulty = Some p.Planner.faulty; node = Some node };
+      };
+    ]
+  else if not (Analysis.fp_schedulable ts) then
+    [
+      {
+        code = Response_time_divergent;
+        message =
+          Printf.sprintf
+            "node %d: fixed-priority response times exceed deadlines (util %.3f)"
+            node u;
+        locus = { no_locus with faulty = Some p.Planner.faulty; node = Some node };
+      };
+    ]
+  else []
+
+(* (b') Independent re-validation of the mode's static table. *)
+let schedule_valid_diags v (p : Planner.plan) =
+  let g = p.Planner.aug.Augment.graph in
+  let xfer ~src ~dst ~size_bytes =
+    xfer_oracle v ~faulty:p.Planner.faulty ~cls:Net.Data ~src ~dst ~size_bytes
+  in
+  match Schedule.validate p.Planner.schedule g ~xfer with
+  | exception Invalid_argument msg ->
+    (* A table referencing tasks the mode's graph does not declare
+       is invalid, not a verifier crash. *)
+    [
+      {
+        code = Schedule_invalid;
+        message = msg;
+        locus = { no_locus with faulty = Some p.Planner.faulty };
+      };
+    ]
+  | Ok () -> []
+  | Error msg ->
+    [
+      {
+        code = Schedule_invalid;
+        message = msg;
+        locus = { no_locus with faulty = Some p.Planner.faulty };
+      };
+    ]
 
 (* (c) Definition 3.1 coverage: every fault set of size ≤ f has a plan,
    every one-fault extension a transition, every transition fits R. *)
-let check_coverage v push =
-  let plan_for faulty =
-    List.find_opt (fun (p : Planner.plan) -> p.Planner.faulty = key faulty) v.plans
-  in
+
+(* First-wins indexes over the view's plan and transition lists: the
+   same lookup results as the original [List.find_opt] scans (first
+   match in list order) at O(1) per query instead of O(modes), which
+   matters once coverage enumerates thousands of fault patterns. *)
+let index_plans v =
+  let idx : (int list, Planner.plan) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Planner.plan) ->
+      if not (Hashtbl.mem idx p.Planner.faulty) then
+        Hashtbl.add idx p.Planner.faulty p)
+    v.plans;
+  idx
+
+let index_transitions v =
+  let idx : (int list * int, Planner.transition) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Planner.transition) ->
+      let k = (tr.Planner.from_faulty, tr.Planner.new_fault) in
+      if not (Hashtbl.mem idx k) then Hashtbl.add idx k tr)
+    v.transitions;
+  idx
+
+(* [evb] is the (possibly memoized) evidence-bound oracle; coverage
+   asks for the same fault set once per contained fault, so even the
+   from-scratch path profits from the per-pass memo in [verify_units]. *)
+let coverage_diags v ~evb push =
+  let plan_idx = index_plans v in
+  let tr_idx = index_transitions v in
+  let plan_for faulty = Hashtbl.find_opt plan_idx (key faulty) in
   let transition_for ~from_faulty ~new_fault =
-    List.find_opt
-      (fun (tr : Planner.transition) ->
-        tr.Planner.from_faulty = key from_faulty && tr.Planner.new_fault = new_fault)
-      v.transitions
+    Hashtbl.find_opt tr_idx (key from_faulty, new_fault)
   in
   let r = v.config.Planner.recovery_bound in
   let patterns = fault_patterns (Topology.nodes v.topology) v.config.Planner.f in
@@ -541,7 +632,7 @@ let check_coverage v push =
                   Time.add
                     (Time.add
                        (Time.add period v.config.Planner.detection_margin)
-                       (evidence_bound v ~faulty))
+                       (evb faulty))
                     (Time.add tr.Planner.migration_bound period)
                 in
                 if Time.compare tr.Planner.recovery_bound floor_bound < 0 then
@@ -633,68 +724,103 @@ type omission_case = {
   oc_fatal : bool;  (* no path fits inside R *)
 }
 
-let selective_omission_cases v ~strikes =
+(* Per protected sink flow (in [protected_sink_flows] order): the
+   minimal watcher cut [sender] must omit toward to starve that flow in
+   mode [p], or [None] when the flow is shed in this mode, some lane
+   has no direct hop from the sender, or no hitting set exists. This is
+   a pure function of the mode's structure — R, strikes and evidence
+   bounds do not enter — so the memo layer keys it on the mode
+   fingerprint alone and replays the cheap R-dependent selection. *)
+let omission_cut_rows v (p : Planner.plan) ~sender =
+  let aug = p.Planner.aug in
+  let g = aug.Augment.graph in
+  let host_idx : (Task.id, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (tid, n) ->
+      if not (Hashtbl.mem host_idx tid) then Hashtbl.add host_idx tid n)
+    p.Planner.assignment;
+  let host tid = Hashtbl.find_opt host_idx tid in
+  (* Live lane chains per protected original sink flow: the delivery
+     hop plus the transitive producer closure behind it, all assigned
+     in this mode. *)
+  let chains_of (orig_fl : Graph.flow) =
+    List.filter_map
+      (fun (fl : Graph.flow) ->
+        match Augment.orig_flow_of aug fl.flow_id with
+        | Some (ofid, _) when ofid = orig_fl.Graph.flow_id ->
+          if Augment.orig_of aug fl.consumer <> orig_fl.Graph.consumer then None
+          else begin
+            let closure = Hashtbl.create 16 in
+            let rec go tid =
+              if not (Hashtbl.mem closure tid) then begin
+                Hashtbl.replace closure tid ();
+                List.iter
+                  (fun (pf : Graph.flow) -> go pf.producer)
+                  (Graph.producers_of g tid)
+              end
+            in
+            go fl.producer;
+            let live =
+              host fl.consumer <> None
+              && Table.sorted_fold ~cmp:Int.compare
+                   (fun tid () acc -> acc && host tid <> None)
+                   closure true
+            in
+            if not live then None
+            else
+              let hops =
+                fl
+                :: List.filter
+                     (fun (hf : Graph.flow) -> Hashtbl.mem closure hf.consumer)
+                     (Graph.flows g)
+              in
+              Some hops
+          end
+        | _ -> None)
+      (Graph.flows g)
+  in
+  List.map
+    (fun (orig_fl : Graph.flow) ->
+      match chains_of orig_fl with
+      | [] -> None (* flow not carried in this mode: shed *)
+      | chains ->
+        let cuts =
+          List.map
+            (fun hops ->
+              List.sort_uniq Int.compare
+                (List.filter_map
+                   (fun (hf : Graph.flow) ->
+                     match (host hf.producer, host hf.consumer) with
+                     | Some ph, Some ch when ph = sender && ch <> sender -> Some ch
+                     | _ -> None)
+                   hops))
+            chains
+        in
+        if List.for_all (fun c -> c <> []) cuts then
+          match min_hitting_set cuts with
+          | None -> None
+          | Some targets -> Some (orig_fl.Graph.flow_id, targets)
+        else None)
+    (protected_sink_flows v)
+
+(* Replays the worst-flow selection over precomputed cut rows. The old
+   in-line code short-circuited once a fatal flow was found; under the
+   [better] rule a later flow can never displace a fatal winner, so
+   scanning every row yields the identical case list. *)
+let omission_cases v ~strikes ~evb ~cuts =
   let r = v.config.Planner.recovery_bound in
   let f = v.config.Planner.f in
   let threshold = f + 1 in
-  let transition_for ~from_faulty ~new_fault =
-    List.find_opt
-      (fun (tr : Planner.transition) ->
-        tr.Planner.from_faulty = key from_faulty && tr.Planner.new_fault = new_fault)
-      v.transitions
-  in
-  let sink_flows = protected_sink_flows v in
+  let tr_idx = index_transitions v in
   let cases = ref [] in
   List.iter
     (fun (p : Planner.plan) ->
       if List.length p.Planner.faulty < f then begin
-        let aug = p.Planner.aug in
-        let g = aug.Augment.graph in
-        let host tid = List.assoc_opt tid p.Planner.assignment in
-        (* Live lane chains per protected original sink flow: the
-           delivery hop plus the transitive producer closure behind it,
-           all assigned in this mode. *)
-        let chains_of (orig_fl : Graph.flow) =
-          List.filter_map
-            (fun (fl : Graph.flow) ->
-              match Augment.orig_flow_of aug fl.flow_id with
-              | Some (ofid, _) when ofid = orig_fl.Graph.flow_id ->
-                if Augment.orig_of aug fl.consumer <> orig_fl.Graph.consumer then
-                  None
-                else begin
-                  let closure = Hashtbl.create 16 in
-                  let rec go tid =
-                    if not (Hashtbl.mem closure tid) then begin
-                      Hashtbl.replace closure tid ();
-                      List.iter
-                        (fun (pf : Graph.flow) -> go pf.producer)
-                        (Graph.producers_of g tid)
-                    end
-                  in
-                  go fl.producer;
-                  let live =
-                    host fl.consumer <> None
-                    && Table.sorted_fold ~cmp:Int.compare
-                         (fun tid () acc -> acc && host tid <> None)
-                         closure true
-                  in
-                  if not live then None
-                  else
-                    let hops =
-                      fl
-                      :: List.filter
-                           (fun (hf : Graph.flow) -> Hashtbl.mem closure hf.consumer)
-                           (Graph.flows g)
-                    in
-                    Some hops
-                end
-              | _ -> None)
-            (Graph.flows g)
-        in
+        let g = p.Planner.aug.Augment.graph in
         let alive = alive_of v p.Planner.faulty in
         List.iter
           (fun sender ->
-            match transition_for ~from_faulty:p.Planner.faulty ~new_fault:sender with
+            match Hashtbl.find_opt tr_idx (key p.Planner.faulty, sender) with
             | None -> () (* E302 owns the missing transition *)
             | Some tr ->
               let period = Graph.period g in
@@ -704,10 +830,9 @@ let selective_omission_cases v ~strikes =
                 Time.add v.config.Planner.detection_margin (Time.div period 10)
               in
               let faulty' = key (sender :: p.Planner.faulty) in
-              let evb = evidence_bound v ~faulty:faulty' in
               let base =
                 Time.add
-                  (Time.add margin evb)
+                  (Time.add margin (evb faulty'))
                   (Time.add tr.Planner.migration_bound (Time.mul period 2))
               in
               let direct = Time.add (Time.mul period strikes) base in
@@ -715,54 +840,27 @@ let selective_omission_cases v ~strikes =
               (* Worst flow for this sender: prefer a fatal one. *)
               let worst = ref None in
               List.iter
-                (fun (orig_fl : Graph.flow) ->
-                  match !worst with
-                  | Some (_, _, true) -> ()
-                  | _ -> (
-                    match chains_of orig_fl with
-                    | [] -> () (* flow not carried in this mode: shed *)
-                    | chains ->
-                      let cuts =
-                        List.map
-                          (fun hops ->
-                            List.sort_uniq Int.compare
-                              (List.filter_map
-                                 (fun (hf : Graph.flow) ->
-                                   match (host hf.producer, host hf.consumer) with
-                                   | Some ph, Some ch
-                                     when ph = sender && ch <> sender ->
-                                     Some ch
-                                   | _ -> None)
-                                 hops))
-                          chains
+                (fun row ->
+                  match (!worst, row) with
+                  | Some (_, _, true), _ | _, None -> ()
+                  | _, Some (flow_id, targets) ->
+                    let m = List.length targets in
+                    let corro_applies = m >= threshold in
+                    let detectable =
+                      Time.compare direct r <= 0
+                      || (corro_applies && Time.compare corro r <= 0)
+                    in
+                    let fatal = not detectable in
+                    let needs_corro = detectable && Time.compare direct r > 0 in
+                    if fatal || needs_corro then
+                      let better =
+                        match !worst with
+                        | None -> true
+                        | Some (_, _, was_fatal) -> fatal && not was_fatal
                       in
-                      if List.for_all (fun c -> c <> []) cuts then
-                        match min_hitting_set cuts with
-                        | None -> ()
-                        | Some targets ->
-                          let m = List.length targets in
-                          let corro_applies = m >= threshold in
-                          let detectable =
-                            Time.compare direct r <= 0
-                            || (corro_applies && Time.compare corro r <= 0)
-                          in
-                          let fatal = not detectable in
-                          let needs_corro =
-                            detectable && Time.compare direct r > 0
-                          in
-                          if fatal || needs_corro then
-                            let better =
-                              match !worst with
-                              | None -> true
-                              | Some (_, _, was_fatal) -> fatal && not was_fatal
-                            in
-                            if better then
-                              worst :=
-                                Some
-                                  ( orig_fl.Graph.flow_id,
-                                    (targets, corro_applies),
-                                    fatal )))
-                sink_flows;
+                      if better then
+                        worst := Some (flow_id, (targets, corro_applies), fatal))
+                (cuts p ~sender);
               (match !worst with
               | None -> ()
               | Some (flow, (targets, corro_applies), fatal) ->
@@ -782,51 +880,54 @@ let selective_omission_cases v ~strikes =
     v.plans;
   List.rev !cases
 
-let check_selective_omission v ~strikes push =
+let selective_omission_cases v ~strikes =
+  omission_cases v ~strikes
+    ~evb:(fun faulty -> evidence_bound v ~faulty)
+    ~cuts:(fun p ~sender -> omission_cut_rows v p ~sender)
+
+let omission_diags v ~strikes cases =
   let r = v.config.Planner.recovery_bound in
-  List.iter
+  List.map
     (fun c ->
       let p = c.oc_plan in
       if c.oc_fatal then
-        push
-          {
-            code = Selective_omission_undetectable;
-            message =
-              Format.asprintf
-                "node %d can starve flow %d by omitting toward %a (%d watcher%s, \
-                 strikes=%d): detection needs %a > R = %a"
-                c.oc_sender c.oc_flow pp_fault_set c.oc_targets
-                (List.length c.oc_targets)
-                (if List.length c.oc_targets = 1 then "" else "s")
-                strikes Time.pp c.oc_direct Time.pp r;
-            locus =
-              {
-                no_locus with
-                faulty = Some p.Planner.faulty;
-                node = Some c.oc_sender;
-                flow = Some c.oc_flow;
-              };
-          }
+        {
+          code = Selective_omission_undetectable;
+          message =
+            Format.asprintf
+              "node %d can starve flow %d by omitting toward %a (%d watcher%s, \
+               strikes=%d): detection needs %a > R = %a"
+              c.oc_sender c.oc_flow pp_fault_set c.oc_targets
+              (List.length c.oc_targets)
+              (if List.length c.oc_targets = 1 then "" else "s")
+              strikes Time.pp c.oc_direct Time.pp r;
+          locus =
+            {
+              no_locus with
+              faulty = Some p.Planner.faulty;
+              node = Some c.oc_sender;
+              flow = Some c.oc_flow;
+            };
+        }
       else
-        push
-          {
-            code = Omission_needs_corroboration;
-            message =
-              Format.asprintf
-                "node %d starving flow %d (omitting toward %a) is caught within \
-                 R = %a only by %d-watcher corroboration (single-watchdog \
-                 detection needs %a)"
-                c.oc_sender c.oc_flow pp_fault_set c.oc_targets Time.pp r
-                (List.length c.oc_targets) Time.pp c.oc_direct;
-            locus =
-              {
-                no_locus with
-                faulty = Some p.Planner.faulty;
-                node = Some c.oc_sender;
-                flow = Some c.oc_flow;
-              };
-          })
-    (selective_omission_cases v ~strikes)
+        {
+          code = Omission_needs_corroboration;
+          message =
+            Format.asprintf
+              "node %d starving flow %d (omitting toward %a) is caught within \
+               R = %a only by %d-watcher corroboration (single-watchdog \
+               detection needs %a)"
+              c.oc_sender c.oc_flow pp_fault_set c.oc_targets Time.pp r
+              (List.length c.oc_targets) Time.pp c.oc_direct;
+          locus =
+            {
+              no_locus with
+              faulty = Some p.Planner.faulty;
+              node = Some c.oc_sender;
+              flow = Some c.oc_flow;
+            };
+        })
+    cases
 
 let selective_omission_witnesses ?(strikes = 1) v =
   List.filter_map
@@ -846,14 +947,17 @@ let selective_omission_witnesses ?(strikes = 1) v =
 (* (d) Mode-graph sanity: transitions connect known modes, every mode
    is reachable from the fault-free root, evidence can flood in every
    mode, and its bound leaves room for the rest of the recovery. *)
-let check_mode_graph v push =
-  let known = List.map (fun (p : Planner.plan) -> p.Planner.faulty) v.plans in
+let transition_sanity_diags v =
+  let known : (int list, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iter
+    (fun (p : Planner.plan) -> Hashtbl.replace known p.Planner.faulty ())
+    v.plans;
+  List.concat_map
     (fun (tr : Planner.transition) ->
-      List.iter
+      List.filter_map
         (fun (name, fs) ->
-          if not (List.mem (key fs) known) then
-            push
+          if not (Hashtbl.mem known (key fs)) then
+            Some
               {
                 code = Transition_target_unknown;
                 message =
@@ -866,84 +970,185 @@ let check_mode_graph v push =
                     faulty = Some fs;
                     new_fault = Some tr.Planner.new_fault;
                   };
-              })
+              }
+          else None)
         [ ("source", tr.Planner.from_faulty); ("target", tr.Planner.to_faulty) ])
-    v.transitions;
-  (* Reachability from the fault-free root over the transition graph. *)
-  if List.mem [] known then begin
+    v.transitions
+
+(* Reachability from the fault-free root over the transition graph,
+   with transitions indexed by source mode so the walk is linear in
+   edges rather than modes × transitions. *)
+let orphan_mode_diags v =
+  let known = List.map (fun (p : Planner.plan) -> p.Planner.faulty) v.plans in
+  if not (List.mem [] known) then []
+  else begin
+    let by_from : (int list, Planner.transition list) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    List.iter
+      (fun (tr : Planner.transition) ->
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt by_from tr.Planner.from_faulty)
+        in
+        Hashtbl.replace by_from tr.Planner.from_faulty (tr :: prev))
+      v.transitions;
     let visited = Hashtbl.create 16 in
     let rec visit fs =
       if not (Hashtbl.mem visited fs) then begin
         Hashtbl.replace visited fs ();
         List.iter
-          (fun (tr : Planner.transition) ->
-            if tr.Planner.from_faulty = fs then visit (key tr.Planner.to_faulty))
-          v.transitions
+          (fun (tr : Planner.transition) -> visit (key tr.Planner.to_faulty))
+          (Option.value ~default:[] (Hashtbl.find_opt by_from fs))
       end
     in
     visit [];
-    List.iter
+    List.filter_map
       (fun fs ->
         if not (Hashtbl.mem visited fs) then
-          push
+          Some
             {
               code = Orphan_mode;
               message = "mode is unreachable from the fault-free root";
               locus = { no_locus with faulty = Some fs };
-            })
+            }
+        else None)
       known
-  end;
-  List.iter
-    (fun (p : Planner.plan) ->
-      let faulty = p.Planner.faulty in
-      let alive = alive_of v faulty in
-      List.iter
-        (fun a ->
-          List.iter
-            (fun b ->
-              if a < b then
-                match
-                  xfer_oracle v ~faulty ~cls:Net.Control ~src:a ~dst:b
-                    ~size_bytes:v.config.Planner.evidence_size
-                with
-                | Some _ -> ()
-                | None ->
-                  push
-                    {
-                      code = Evidence_unroutable;
-                      message =
-                        Printf.sprintf
-                          "no control route between survivors %d and %d" a b;
-                      locus = { no_locus with faulty = Some faulty; node = Some a };
-                    })
-            alive)
-        alive;
-      let eb = evidence_bound v ~faulty in
-      if faulty <> [] && Time.compare (Time.mul eb 2) v.config.Planner.recovery_bound > 0
-      then
-        push
-          {
-            code = Evidence_budget_dominant;
-            message =
-              Format.asprintf
-                "evidence distribution bound %a exceeds half of R = %a" Time.pp eb
-                Time.pp v.config.Planner.recovery_bound;
-            locus = { no_locus with faulty = Some faulty };
-          })
-    v.plans
+  end
+
+(* (d') Per mode: evidence routable between every pair of survivors.
+   Fast path: one BFS from the first survivor — link connectivity is an
+   equivalence relation over usable nodes, so "first reaches all" is
+   exactly "every pair is routable" and the all-clear costs
+   O(memberships) instead of O(n³). Any failure falls back to the
+   pairwise probe to report the identical per-pair diagnostics. *)
+let evidence_routes_diags v (p : Planner.plan) =
+  let faulty = p.Planner.faulty in
+  let alive = alive_of v faulty in
+  let all_connected =
+    match alive with
+    | [] -> true
+    | first :: rest ->
+      let sweep =
+        Topology.paths_from v.topology
+          ~usable:(fun n -> not (List.mem n faulty))
+          ~src:first
+      in
+      List.for_all (fun n -> Topology.reached sweep n) rest
+  in
+  if all_connected then []
+  else begin
+    let out = ref [] in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a < b then
+              match
+                xfer_oracle v ~faulty ~cls:Net.Control ~src:a ~dst:b
+                  ~size_bytes:v.config.Planner.evidence_size
+              with
+              | Some _ -> ()
+              | None ->
+                out :=
+                  {
+                    code = Evidence_unroutable;
+                    message =
+                      Printf.sprintf "no control route between survivors %d and %d"
+                        a b;
+                    locus = { no_locus with faulty = Some faulty; node = Some a };
+                  }
+                  :: !out)
+          alive)
+      alive;
+    List.rev !out
+  end
 
 (* ------------------------------------------------------------------ *)
+(* Composition. The [units] record is the seam {!Incr} replaces with
+   memoizing wrappers; [verify_units default_units] is the from-scratch
+   verifier. Emission order below replicates the historical push order
+   exactly, so reports are byte-identical across both paths. *)
 
-let verify_view ?(obs = Obs.null) ?(strikes = 1) v =
+type units = {
+  u_link_capacity : view -> diagnostic list;
+  u_control_reserves : view -> diagnostic list;
+  u_data_reserves : view -> Planner.plan -> diagnostic list;
+  u_node_rta :
+    view ->
+    Planner.plan ->
+    node:int ->
+    tasks:(Task.id * Time.t * Time.t) list ->
+    diagnostic list;
+  u_schedule_valid : view -> Planner.plan -> diagnostic list;
+  u_evb : view -> int list -> Time.t;
+  u_omission_cuts :
+    view -> Planner.plan -> sender:int -> (int * int list) option list;
+  u_evidence_routes : view -> Planner.plan -> diagnostic list;
+}
+
+let default_units =
+  {
+    u_link_capacity = link_capacity_diags;
+    u_control_reserves = control_reserve_diags;
+    u_data_reserves = data_reserve_diags;
+    u_node_rta = node_rta_diags;
+    u_schedule_valid = schedule_valid_diags;
+    u_evb = (fun v faulty -> evidence_bound v ~faulty);
+    u_omission_cuts = omission_cut_rows;
+    u_evidence_routes = evidence_routes_diags;
+  }
+
+let verify_units ?(obs = Obs.null) ?(strikes = 1) u v =
   let rev = ref [] in
   let push d = rev := d :: !rev in
-  check_link_capacity v push;
-  check_data_reserves v push;
-  check_control_reserves v push;
-  check_schedulability v push;
-  let fault_sets = check_coverage v push in
-  check_selective_omission v ~strikes push;
-  check_mode_graph v push;
+  let push_all ds = List.iter push ds in
+  (* One evidence-bound memo per pass: coverage, omission and the
+     budget check ask for overlapping fault sets. *)
+  let evb_tbl : (int list, Time.t) Hashtbl.t = Hashtbl.create 64 in
+  let evb faulty =
+    let k = key faulty in
+    match Hashtbl.find_opt evb_tbl k with
+    | Some t -> t
+    | None ->
+      let t = u.u_evb v k in
+      Hashtbl.add evb_tbl k t;
+      t
+  in
+  push_all (u.u_link_capacity v);
+  List.iter (fun p -> push_all (u.u_data_reserves v p)) v.plans;
+  push_all (u.u_control_reserves v);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (node, tasks) -> push_all (u.u_node_rta v p ~node ~tasks))
+        (rta_inputs v p);
+      push_all (u.u_schedule_valid v p))
+    v.plans;
+  let fault_sets = coverage_diags v ~evb push in
+  push_all
+    (omission_diags v ~strikes
+       (omission_cases v ~strikes ~evb
+          ~cuts:(fun p ~sender -> u.u_omission_cuts v p ~sender)));
+  push_all (transition_sanity_diags v);
+  push_all (orphan_mode_diags v);
+  List.iter
+    (fun (p : Planner.plan) ->
+      push_all (u.u_evidence_routes v p);
+      let faulty = p.Planner.faulty in
+      if faulty <> [] then begin
+        let eb = evb faulty in
+        if Time.compare (Time.mul eb 2) v.config.Planner.recovery_bound > 0 then
+          push
+            {
+              code = Evidence_budget_dominant;
+              message =
+                Format.asprintf
+                  "evidence distribution bound %a exceeds half of R = %a" Time.pp
+                  eb Time.pp v.config.Planner.recovery_bound;
+              locus = { no_locus with faulty = Some faulty };
+            }
+      end)
+    v.plans;
   let diagnostics =
     let all = List.rev !rev in
     List.filter (fun d -> severity_of d.code = Error) all
@@ -971,6 +1176,7 @@ let verify_view ?(obs = Obs.null) ?(strikes = 1) v =
       report.diagnostics;
   report
 
+let verify_view ?obs ?strikes v = verify_units ?obs ?strikes default_units v
 let verify ?obs ?strikes s = verify_view ?obs ?strikes (view_of_strategy s)
 
 let to_planner_error r =

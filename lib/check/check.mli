@@ -155,6 +155,65 @@ val selective_omission_witnesses : ?strikes:int -> view -> omission_witness list
     in the same order. [strikes] (default 1) is the watchdog
     declaration threshold the runtime will be configured with. *)
 
+(** {1 Verification units}
+
+    The verifier is composed from per-obligation functions so that the
+    incremental layer ({!Btr_check.Incr}) can substitute memoizing
+    wrappers for the {e same} functions: on a memo miss both paths run
+    literally the same code, which is what makes [Incr.report]
+    provably identical to {!verify_view} rather than a parallel
+    implementation that could drift. *)
+
+type units = {
+  u_link_capacity : view -> diagnostic list;
+      (** BTR-E101 over every link (static, mode-independent). *)
+  u_control_reserves : view -> diagnostic list;
+      (** BTR-W103 over every link (static, mode-independent). *)
+  u_data_reserves : view -> Planner.plan -> diagnostic list;
+      (** BTR-E102 for one mode's routed per-sender demand. *)
+  u_node_rta :
+    view ->
+    Planner.plan ->
+    node:int ->
+    tasks:(Btr_workload.Task.id * Btr_util.Time.t * Btr_util.Time.t) list ->
+    diagnostic list;
+      (** BTR-E201/W202 for one node of one mode. [tasks] are the
+          [(task, wcet, deadline)] triples response-time analysis
+          reads, in assignment order — everything the result depends
+          on besides the period, so a memo may key on exactly that. *)
+  u_schedule_valid : view -> Planner.plan -> diagnostic list;
+      (** BTR-E203: independent re-validation of one mode's table. *)
+  u_evb : view -> int list -> Btr_util.Time.t;
+      (** Worst-case pairwise evidence-distribution bound for one
+          (sorted) fault set — the §4.3 term of every recovery bound. *)
+  u_omission_cuts :
+    view -> Planner.plan -> sender:int -> (int * int list) option list;
+      (** Per protected sink flow (in declaration order): the minimal
+          watcher cut [sender] must omit toward to starve it in this
+          mode, or [None] when the flow is shed or uncuttable. Pure in
+          the mode structure; R and strikes enter only in the replayed
+          selection, so this is the expensive memoizable core of
+          BTR-E305/W306. *)
+  u_evidence_routes : view -> Planner.plan -> diagnostic list;
+      (** BTR-E403 for one mode's survivor pairs. *)
+}
+
+val default_units : units
+(** The from-scratch implementations; {!verify_view} is
+    [verify_units default_units]. *)
+
+val verify_units :
+  ?obs:Btr_obs.Obs.t -> ?strikes:int -> units -> view -> report
+(** Runs every check through the given unit implementations, in the
+    fixed historical emission order. Two [units] values whose
+    functions are extensionally equal produce byte-identical
+    reports. *)
+
+val evidence_bound : view -> faulty:int list -> Btr_util.Time.t
+(** The default [u_evb]: worst-case control-class transfer time between
+    any two survivors of [faulty], via one cost-accumulating BFS per
+    source. *)
+
 val verify_view : ?obs:Btr_obs.Obs.t -> ?strikes:int -> view -> report
 (** Runs every check. [strikes] (default 1) is the runtime watchdog's
     consecutive-miss declaration threshold, used by the
@@ -176,5 +235,6 @@ val pp_report : Format.formatter -> report -> unit
 
 val diagnostic_to_json : diagnostic -> string
 val report_to_json : report -> string
-(** One JSON object; diagnostics in report order; deterministic
-    byte-for-byte for a given view. *)
+(** One JSON object; diagnostics in a stable sorted order (severity,
+    then code, locus, message) independent of internal emission order;
+    deterministic byte-for-byte for a given view. *)

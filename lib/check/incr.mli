@@ -1,0 +1,131 @@
+(** Incremental verification: edits in, diagnostic deltas out.
+
+    Fleet-scale configurations (10³–10⁴ nodes) make from-scratch
+    {!Check.verify} runs the bottleneck of any edit-compile-check loop.
+    This module keeps a persistent analysis {!state} whose memo tables
+    cache every expensive verification unit — per-(mode, node)
+    response-time analyses, per-mode bandwidth ledgers and table
+    validations, per-fault-set evidence bounds, per-(mode, sender)
+    selective-omission cuts — keyed by FNV-1a fingerprints of exactly
+    the inputs each unit reads. Applying an {!edit} replans through
+    {!Planner.replan_delta} (which reuses plans whose dependency
+    fingerprints are unchanged) and re-verifies through
+    {!Check.verify_units} with memoizing wrappers around
+    {!Check.default_units}: only the dependency cone of the edit is
+    recomputed, and on every memo miss the {e default} unit runs, so
+
+    {v report st = Check.verify (strategy st) v}
+
+    holds byte-for-byte by construction (see the [incr] equivalence
+    property in the test suite). *)
+
+module Graph = Btr_workload.Graph
+module Topology = Btr_net.Topology
+module Planner = Btr_planner.Planner
+
+(** One elementary change to the verified system. Constructors edit
+    exactly one of the three inputs (topology, workload, config). *)
+type edit =
+  | Add_node of int
+  | Remove_node of int
+      (** Also drops the node from link member lists; links left with
+          fewer than two members disappear. *)
+  | Add_link of Topology.link
+  | Retune_link of {
+      link : int;
+      bandwidth_bps : int option;  (** [None] keeps the current value *)
+      latency : Btr_util.Time.t option;
+    }
+  | Add_flow of Graph.flow
+  | Remove_flow of int
+  | Retune_flow of {
+      flow : int;
+      msg_size : int option;
+      deadline : Btr_util.Time.t option option;
+          (** [None] keeps; [Some None] clears; [Some (Some d)] sets. *)
+    }
+  | Set_f of int
+      (** Also re-derives [degree = max 1 (f+1)], matching
+          {!Planner.default_config}. *)
+  | Set_recovery_bound of Btr_util.Time.t
+      (** The cheapest edit: planning never reads R, so the strategy is
+          reused in O(1) and only the R-dependent admission checks
+          replay. *)
+
+type apply_error =
+  | Invalid_edit of string
+      (** The edit does not apply (unknown id, invariant violation). *)
+  | Plan_failed of Planner.error
+      (** The edited system admits no strategy. *)
+
+val pp_apply_error : Format.formatter -> apply_error -> unit
+
+type state
+(** Persistent analysis state: current inputs, strategy, report, and
+    the memo tables shared across every {!apply} so far. *)
+
+type report_delta = {
+  appeared : Check.diagnostic list;
+      (** diagnostics in the new report but not the old (multiset
+          difference, new-report order) *)
+  disappeared : Check.diagnostic list;
+}
+
+val pp_report_delta : Format.formatter -> report_delta -> unit
+
+val init :
+  ?strikes:int ->
+  Planner.config ->
+  Graph.t ->
+  Topology.t ->
+  (state, Planner.error) result
+(** Plan and verify from scratch, warming the memo tables. [strikes]
+    (default 1) as in {!Check.verify_view}. *)
+
+val apply : state -> edit -> (state * report_delta, apply_error) result
+(** Apply one edit: rebuild the edited input, replan reusing every mode
+    whose dependency fingerprint is unchanged, re-verify reusing every
+    memoized analysis whose inputs are unchanged. On [Error] the state
+    is unchanged (memo tables may have warmed). *)
+
+val report : state -> Check.report
+(** The current report — byte-identical (including JSON rendering and
+    omission witnesses) to [Check.verify] of a strategy built from
+    scratch on the current inputs. *)
+
+val strategy : state -> Planner.t
+val view : state -> Check.view
+
+val last_plan_delta : state -> Planner.delta option
+(** Plan-level reuse measured by the most recent {!apply}; [None]
+    before the first. *)
+
+(** Cumulative memo hit/miss counters per analysis family, for cone
+    tests and the planner bench. *)
+type memo_stats = {
+  static_hits : int;
+  static_misses : int;  (** link capacity + control reserves *)
+  reserve_hits : int;
+  reserve_misses : int;  (** per-mode data-reserve ledgers *)
+  rta_hits : int;
+  rta_misses : int;  (** per-(mode, node) response-time analyses *)
+  sched_hits : int;
+  sched_misses : int;  (** per-mode table re-validations *)
+  routes_hits : int;
+  routes_misses : int;  (** per-mode survivor-connectivity sweeps *)
+  evb_hits : int;
+  evb_misses : int;  (** per-fault-set evidence bounds *)
+  cuts_hits : int;
+  cuts_misses : int;  (** per-(mode, sender) omission cut rows *)
+}
+
+val memo_stats : state -> memo_stats
+val reset_memo_stats : state -> unit
+(** Zero the counters (the cached entries stay). *)
+
+val parse_edit : string -> (edit, string) result
+(** One edit per line, e.g. [retune-flow 3 size=128],
+    [add-link id=2 members=0,1,4 bw=1000000 lat-us=50],
+    [set-recovery-bound-us 300000]. Inverse of {!edit_to_string}. *)
+
+val edit_to_string : edit -> string

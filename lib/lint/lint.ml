@@ -1,12 +1,19 @@
-type rule = Hashtbl_order | Poly_compare | Wall_clock | Raw_random
+type rule =
+  | Hashtbl_order
+  | Poly_compare
+  | Wall_clock
+  | Raw_random
+  | Fingerprint_order
 
-let all_rules = [ Hashtbl_order; Poly_compare; Wall_clock; Raw_random ]
+let all_rules =
+  [ Hashtbl_order; Poly_compare; Wall_clock; Raw_random; Fingerprint_order ]
 
 let rule_name = function
   | Hashtbl_order -> "hashtbl-order"
   | Poly_compare -> "poly-compare"
   | Wall_clock -> "wall-clock"
   | Raw_random -> "raw-random"
+  | Fingerprint_order -> "fingerprint-order"
 
 let rule_of_name n = List.find_opt (fun r -> rule_name r = n) all_rules
 
@@ -15,6 +22,7 @@ let rule_id = function
   | Poly_compare -> "BTR-L002"
   | Wall_clock -> "BTR-L003"
   | Raw_random -> "BTR-L004"
+  | Fingerprint_order -> "BTR-L005"
 
 let describe = function
   | Hashtbl_order ->
@@ -27,6 +35,9 @@ let describe = function
     "wall-clock readings do not replay; simulated time lives in Btr_util.Time"
   | Raw_random ->
     "the global Random state is unseeded and unsplittable; use Btr_util.Rng"
+  | Fingerprint_order ->
+    "a Hashtbl iterator feeding an Fnv fingerprint bakes nondeterministic \
+     order into a memo key; sort the bindings (Table.sorted_*) before hashing"
 
 type finding = {
   file : string;
@@ -183,9 +194,23 @@ let exempt_path ~file rule =
     let suffix = "lib/util/rng.ml" in
     let ln = String.length norm and ls = String.length suffix in
     norm = "rng.ml" || (ln >= ls && String.sub norm (ln - ls) ls = suffix)
-  | Hashtbl_order | Poly_compare -> false
+  | Hashtbl_order | Poly_compare | Fingerprint_order -> false
 
 let hashtbl_iterators = [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+(* Entry points of the Btr_util.Fnv fingerprinting API. An unordered
+   Hashtbl iterator anywhere inside their argument expressions bakes
+   nondeterministic order into a fingerprint — the memo-key soundness
+   hazard BTR-L005 exists to catch. *)
+let fnv_entry path =
+  let stripped =
+    match path with
+    | "Stdlib" :: rest | "Btr_util" :: rest -> rest
+    | p -> p
+  in
+  match stripped with
+  | [ "Fnv"; ("hash" | "hash64" | "hash64_lines") ] -> true
+  | _ -> false
 
 let classify path =
   let stripped = match path with "Stdlib" :: rest -> rest | p -> p in
@@ -244,6 +269,10 @@ let lint_structure ~file ~suppressions str =
     object (self)
       inherit Ppxlib.Ast_traverse.iter as super
 
+      (* > 0 while visiting the arguments of an Fnv fingerprint call;
+         Hashtbl iterators found there also violate BTR-L005. *)
+      val mutable fnv_depth = 0
+
       method! expression e =
         match e.pexp_desc with
         | Pexp_apply
@@ -253,9 +282,20 @@ let lint_structure ~file ~suppressions str =
              mostly fine on ints/strings; first-class and sectioned
              uses are flagged. *)
           List.iter (fun (_, a) -> self#expression a) args
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+          when fnv_entry (Ppxlib.Longident.flatten_exn txt) ->
+          fnv_depth <- fnv_depth + 1;
+          List.iter (fun (_, a) -> self#expression a) args;
+          fnv_depth <- fnv_depth - 1
         | Pexp_ident { txt; loc } -> (
           match classify (Ppxlib.Longident.flatten_exn txt) with
-          | Some (rule, message) -> add loc rule message
+          | Some (rule, message) ->
+            add loc rule message;
+            if rule = Hashtbl_order && fnv_depth > 0 then
+              add loc Fingerprint_order
+                "Hashtbl iteration feeds an Fnv fingerprint: the hash (and \
+                 any memo key built from it) depends on insertion order; \
+                 sort first (Table.sorted_*)"
           | None -> ())
         | _ -> super#expression e
     end

@@ -33,17 +33,26 @@ type rule =
   | Raw_random
       (** BTR-L004: the global [Random] module — unseeded, unsplittable
           state. Use [Btr_util.Rng]. *)
+  | Fingerprint_order
+      (** BTR-L005: a [Hashtbl] iterator inside the arguments of an
+          [Btr_util.Fnv] fingerprint call ([Fnv.hash], [Fnv.hash64],
+          [Fnv.hash64_lines]) with no intervening sort. Worse than
+          L001: the nondeterministic order is baked into a hash that
+          typically keys a memo table or a cross-run artifact, so two
+          identical systems fingerprint differently and incremental
+          reuse silently breaks. Emitted in addition to L001 at the
+          same location. *)
 
 val all_rules : rule list
 
 val rule_name : rule -> string
 (** The name used in [btr-lint: allow <name>] directives:
     ["hashtbl-order"], ["poly-compare"], ["wall-clock"],
-    ["raw-random"]. *)
+    ["raw-random"], ["fingerprint-order"]. *)
 
 val rule_of_name : string -> rule option
 val rule_id : rule -> string
-(** Stable code: ["BTR-L001"] … ["BTR-L004"]. *)
+(** Stable code: ["BTR-L001"] … ["BTR-L005"]. *)
 
 val describe : rule -> string
 

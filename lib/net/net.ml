@@ -266,20 +266,20 @@ let reservation_rate shares (link : Topology.link) cls =
   let f = match cls with Data -> shares.data_frac | Control -> shares.control_frac in
   Stdlib.max 1 (int_of_float (float_of_int link.bandwidth_bps *. f))
 
+let link_transfer_time shares ~cls ~size_bytes (link : Topology.link) =
+  let rate = reservation_rate shares link cls in
+  Time.add (serialize_time ~size:size_bytes ~rate) link.latency
+
+let path_transfer_time shares ~cls ~size_bytes path =
+  List.fold_left
+    (fun acc link -> Time.add acc (link_transfer_time shares ~cls ~size_bytes link))
+    Time.zero path
+
 let plan_transfer_time topo ?shares ?(avoid = []) ~cls ~src ~dst ~size_bytes () =
   let shares = match shares with Some s -> s | None -> default_shares_for topo in
   match Topology.route_avoiding topo ~avoid ~src ~dst with
   | None -> None
-  | Some path ->
-    let total =
-      List.fold_left
-        (fun acc (link : Topology.link) ->
-          let rate = reservation_rate shares link cls in
-          Time.add acc
-            (Time.add (serialize_time ~size:size_bytes ~rate) link.latency))
-        Time.zero path
-    in
-    Some total
+  | Some path -> Some (path_transfer_time shares ~cls ~size_bytes path)
 
 let set_relay_policy t n p = Hashtbl.replace t.relay_policy n p
 let set_relay_delay t n d = Hashtbl.replace t.relay_delay n d

@@ -106,6 +106,17 @@ val plan_transfer_time :
     routing around [avoid] (default []), without a live network.
     [shares] defaults as in {!create}. *)
 
+val link_transfer_time :
+  shares -> cls:cls -> size_bytes:int -> Topology.link -> Time.t
+(** One hop of {!plan_transfer_time}: serialization at the reserved rate
+    plus the link's propagation latency. Feed to {!Topology.cost_from}
+    for all-destinations bounds in one sweep. *)
+
+val path_transfer_time :
+  shares -> cls:cls -> size_bytes:int -> Topology.link list -> Time.t
+(** Sum of {!link_transfer_time} over a path, i.e. what
+    {!plan_transfer_time} returns for the route it found. *)
+
 (** {1 Fault-injection hooks} *)
 
 val set_relay_policy :

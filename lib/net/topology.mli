@@ -49,6 +49,41 @@ val connected_without : t -> node_id list -> bool
 (** Are the remaining nodes still mutually reachable if the given nodes
     stop relaying? Endpoint connectivity for planner feasibility. *)
 
+(** {1 Single-source sweeps}
+
+    One BFS answers route queries from a fixed source to {e every}
+    destination, with the exact routes {!route_avoiding} would return
+    pair-by-pair (same expansion order, same tie-breaking). These turn
+    the verifier's all-pairs evidence bounds from O(n³) per fault set
+    into O(n·memberships), which is what makes 10³–10⁴-node fleets
+    checkable. *)
+
+type paths
+(** Shortest-path tree from one source under a [usable] predicate. *)
+
+val paths_from : t -> usable:(node_id -> bool) -> src:node_id -> paths
+(** BFS from [src] relaying only through nodes satisfying [usable].
+    Unusable nodes are still reachable as endpoints (the {!route_avoiding}
+    exemption) but never relay. *)
+
+val reached : paths -> node_id -> bool
+(** [reached p n] iff [path_to p ~dst:n] is [Some _]. *)
+
+val path_to : paths -> dst:node_id -> link list option
+(** The links of the route recorded in the sweep; equals
+    [route_gen src dst] under the same [usable] predicate for every
+    destination. [Some []] when [dst] is the source. *)
+
+val cost_from :
+  t ->
+  usable:(node_id -> bool) ->
+  src:node_id ->
+  link_cost:(link -> Btr_util.Time.t) ->
+  (node_id, Btr_util.Time.t) Hashtbl.t
+(** Same traversal as {!paths_from}, accumulating
+    [sum of link_cost over the route] per destination during the sweep.
+    Absent keys are unreachable; the source maps to {!Btr_util.Time.zero}. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {1 Generators} *)

@@ -272,3 +272,52 @@ let random_layered ~rng ~n_nodes ~layers ~width ?(period = Time.ms 20)
       (Graph.tasks g)
   in
   Graph.create ~period ~tasks:tasks' ~flows:(Graph.flows g)
+
+let fleet ~n_nodes =
+  if n_nodes < 4 then invalid_arg "Generators.fleet: need >= 4 nodes";
+  let b = B.create () in
+  let ms = Time.ms and us = Time.us in
+  (* Per vehicle: a pinned telemetry source feeding a pinned local
+     aggregator. Low criticality, node-local flow — the bulk traffic
+     that makes the graph scale with the fleet. *)
+  for i = 0 to n_nodes - 1 do
+    let src =
+      B.task b
+        ~name:(Printf.sprintf "telemetry-%d" i)
+        ~kind:Task.Source ~wcet:(us 100) ~criticality:Task.Low ~pinned:i ()
+    in
+    let agg =
+      B.task b
+        ~name:(Printf.sprintf "aggregate-%d" i)
+        ~kind:Task.Sink ~wcet:(us 100) ~criticality:Task.Low ~pinned:i ()
+    in
+    B.flow b ~from_task:src ~to_task:agg ~msg_size:64 ()
+  done;
+  (* A fixed handful of fleet-wide control pipelines: pinned sensor →
+     migratable controller → pinned actuator, protected criticality so
+     the planner replicates the controllers and the verifier audits
+     their omission cuts. *)
+  for j = 0 to 3 do
+    let src_node = j mod n_nodes and act_node = (j + 1) mod n_nodes in
+    let sensor =
+      B.task b
+        ~name:(Printf.sprintf "hazard-sensor-%d" j)
+        ~kind:Task.Source ~wcet:(us 200) ~criticality:Task.High
+        ~pinned:src_node ()
+    in
+    let controller =
+      B.task b
+        ~name:(Printf.sprintf "fleet-controller-%d" j)
+        ~wcet:(us 600) ~criticality:Task.High ~state_size:2_048 ()
+    in
+    let actuator =
+      B.task b
+        ~name:(Printf.sprintf "fleet-actuator-%d" j)
+        ~kind:Task.Sink ~wcet:(us 200) ~criticality:Task.High
+        ~pinned:act_node ()
+    in
+    B.flow b ~from_task:sensor ~to_task:controller ~msg_size:128 ();
+    B.flow b ~from_task:controller ~to_task:actuator ~msg_size:64
+      ~deadline:(ms 15) ()
+  done;
+  B.finish b ~period:(ms 20)

@@ -39,3 +39,13 @@ val random_layered :
     tasks of the next layer. WCETs are scaled so total utilization is
     roughly [utilization_target] (default 0.5 per node at n_nodes).
     Criticalities are drawn uniformly. Deterministic in [rng]. *)
+
+val fleet : n_nodes:int -> Graph.t
+(** Fleet-scale workload for the planner/verifier scaling bench (E7):
+    one pinned telemetry→aggregator pair per vehicle (Low criticality,
+    node-local flow) plus four protected control pipelines — pinned
+    hazard sensor → migratable controller (High, replicated by the
+    planner) → pinned actuator with a 15ms sink deadline. Task and flow
+    counts grow linearly in [n_nodes]; cross-node traffic stays
+    constant, so verification cost is dominated by per-mode analysis
+    rather than by the workload encoding. Period 20ms. *)

@@ -19,9 +19,18 @@ type t = {
   order : Task.id list;
 }
 
-let rec distinct = function
-  | [] -> true
-  | x :: rest -> (not (List.mem x rest)) && distinct rest
+(* Same verdict as the naive pairwise scan, linear so fleet-scale
+   graphs (10^4 tasks) validate in milliseconds. *)
+let distinct xs =
+  let seen = Hashtbl.create 64 in
+  List.for_all
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    xs
 
 let build ~relaxed ~period ~tasks ~flows =
   if period <= 0 then invalid_arg "Graph.create: period <= 0";
@@ -91,21 +100,22 @@ let build ~relaxed ~period ~tasks ~flows =
       (fun (t : Task.t) -> if Hashtbl.find indeg t.id = 0 then Some t.id else None)
       tasks
   in
-  let rec kahn acc ready =
-    match ready with
-    | [] -> List.rev acc
-    | id :: rest ->
-      let next =
-        List.fold_left
-          (fun rdy f ->
-            let d = Hashtbl.find indeg f.consumer - 1 in
-            Hashtbl.replace indeg f.consumer d;
-            if d = 0 then rdy @ [ f.consumer ] else rdy)
-          rest (Hashtbl.find outgoing id)
-      in
-      kahn (id :: acc) next
-  in
-  let order = kahn [] ready in
+  (* FIFO over newly-ready tasks — a Queue gives the exact order the
+     old list-append formulation produced, without its O(n²) appends. *)
+  let q = Queue.create () in
+  List.iter (fun id -> Queue.push id q) ready;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    acc := id :: !acc;
+    List.iter
+      (fun f ->
+        let d = Hashtbl.find indeg f.consumer - 1 in
+        Hashtbl.replace indeg f.consumer d;
+        if d = 0 then Queue.push f.consumer q)
+      (Hashtbl.find outgoing id)
+  done;
+  let order = List.rev !acc in
   if List.length order <> List.length tasks then
     invalid_arg "Graph.create: dataflow graph has a cycle";
   {

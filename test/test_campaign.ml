@@ -282,6 +282,32 @@ let test_cache_counters_exact () =
         4 r.Campaign.cache_misses)
     [ 1; 4 ]
 
+let test_cache_derives_r_neighbours () =
+  (* Two grid points differing only in R share the R-stripped base: the
+     second must be served by with_recovery_bound derivation, not a
+     fresh plan. Both counts as misses (the full key was absent), and
+     the derived strategy must verify and report the requested R. *)
+  let cache = Campaign.Cache.create ~seed:1 in
+  let base = Campaign.default_params in
+  let tighter = { base with Campaign.r = Time.ms 150 } in
+  (match Campaign.Cache.strategy cache base with
+  | Error m -> Alcotest.failf "base params rejected: %s" m
+  | Ok _ -> ());
+  check_int "no derivation yet" 0 (Campaign.Cache.derived cache);
+  (match Campaign.Cache.strategy cache tighter with
+  | Error m -> Alcotest.failf "R-neighbour rejected: %s" m
+  | Ok s ->
+    check_int "derived strategy carries the requested R" (Time.ms 150)
+      (Btr_planner.Planner.config s).Btr_planner.Planner.recovery_bound);
+  check_int "second config was derived" 1 (Campaign.Cache.derived cache);
+  check_int "both were cache misses" 2 (Campaign.Cache.misses cache);
+  (* repeat lookups hit the full key, not the derivation path *)
+  (match Campaign.Cache.strategy cache tighter with
+  | Error m -> Alcotest.failf "repeat lookup failed: %s" m
+  | Ok _ -> ());
+  check_int "repeat is a plain hit" 1 (Campaign.Cache.derived cache);
+  check_int "hits" 1 (Campaign.Cache.hits cache)
+
 let test_plan_key_semantics () =
   let base = Campaign.default_params in
   let same = { base with Campaign.workload = "avionics" } in
@@ -518,6 +544,8 @@ let suite =
     Alcotest.test_case "plan cache shared across trials" `Quick test_plan_cache_shared;
     Alcotest.test_case "cache counters exact at jobs 1 and 4" `Quick
       test_cache_counters_exact;
+    Alcotest.test_case "cache derives R-axis neighbours" `Quick
+      test_cache_derives_r_neighbours;
     Alcotest.test_case "plan_key semantics" `Quick test_plan_key_semantics;
     Alcotest.test_case "shrinker minimizes known violation" `Quick
       test_shrinker_minimizes_known_violation;

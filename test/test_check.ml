@@ -252,6 +252,33 @@ let w404 =
         Check.config = { v.Check.config with Planner.evidence_size = 10_000_000 };
       })
 
+let test_code_id_round_trip () =
+  (* code_of_id is a total inverse of code_id over all_codes — stable
+     ids in artifacts must resolve back to the code that produced them. *)
+  Alcotest.(check int) "sixteen codes" 16 (List.length Check.all_codes);
+  List.iter
+    (fun c ->
+      check_bool (Check.code_id c ^ " round-trips") true
+        (Check.code_of_id (Check.code_id c) = Some c))
+    Check.all_codes;
+  check_bool "unknown id rejected" true (Check.code_of_id "BTR-E999" = None);
+  check_bool "empty id rejected" true (Check.code_of_id "" = None)
+
+let test_json_order_stable () =
+  (* report_to_json sorts diagnostics (severity, code, locus, message),
+     so two reports carrying the same multiset serialize identically
+     whatever order verification emitted them in. *)
+  let report = Check.verify_view (with_shares (base_view ())
+      { Net.data_frac = 0.5; control_frac = 0.2 }) in
+  check_bool "fixture has several diagnostics" true
+    (List.length report.Check.diagnostics > 1);
+  let shuffled =
+    { report with Check.diagnostics = List.rev report.Check.diagnostics }
+  in
+  Alcotest.(check string) "serialization is order-insensitive"
+    (Check.report_to_json report)
+    (Check.report_to_json shuffled)
+
 let test_scenario_rejects () =
   (* The Scenario pipeline must surface verification failures as
      Planner.Rejected instead of deploying. An impossible R triggers it
@@ -490,6 +517,8 @@ let suite =
     ("E402 orphan mode", `Quick, e402);
     ("E403 evidence unroutable", `Quick, e403);
     ("W404 evidence budget dominant", `Quick, w404);
+    ("code ids round-trip through code_of_id", `Quick, test_code_id_round_trip);
+    ("JSON report order is stable", `Quick, test_json_order_stable);
     ("scenario rejects an infeasible plan", `Quick, test_scenario_rejects);
     ("corpus covers every code", `Quick, test_every_code_covered);
     QCheck_alcotest.to_alcotest prop_accept_implies_bounded_recovery;

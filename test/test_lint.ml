@@ -99,6 +99,51 @@ let test_directive_in_string_is_inert () =
   check_bool "quoted string is not a comment" true
     (rules src = [ Lint.Hashtbl_order ])
 
+let test_fingerprint_order_hit () =
+  (* Hashing a Hashtbl fold: both the order hazard (L001) and the
+     memo-key hazard (L005) fire at the same location. *)
+  let src =
+    "let fp h =\n\
+    \  Btr_util.Fnv.hash64 (Hashtbl.fold (fun k v a -> a ^ k ^ v) h \"\")\n"
+  in
+  (match findings src with
+  | [ a; b ] ->
+    check_bool "L001 first" true (a.rule = Lint.Hashtbl_order);
+    check_bool "L005 second" true (b.rule = Lint.Fingerprint_order);
+    check_int "same line" a.line b.line
+  | fs -> Alcotest.failf "expected two findings, got %d" (List.length fs));
+  (* unqualified entry point, iterator passed through a pipeline arg *)
+  check_bool "Fnv.hash64_lines" true
+    (rules "let fp h = Fnv.hash64_lines (Hashtbl.fold (fun k _ a -> k :: a) h [])"
+    = [ Lint.Hashtbl_order; Lint.Fingerprint_order ])
+
+let test_fingerprint_order_quiet () =
+  check_bool "sorted bindings are quiet" true
+    (rules "let fp l = Btr_util.Fnv.hash64 (String.concat \",\" l)" = []);
+  (* a Hashtbl iterator outside any Fnv call is only L001 *)
+  check_bool "iterator without Fnv is L001 only" true
+    (rules "let ks h = Hashtbl.fold (fun k _ a -> k :: a) h []"
+    = [ Lint.Hashtbl_order ]);
+  (* an Fnv call whose argument was materialized elsewhere is quiet *)
+  check_bool "hash of a prebuilt string is quiet" true
+    (rules "let fp s = Fnv.hash64 s" = [])
+
+let test_fingerprint_order_suppression () =
+  let src =
+    "let fp h =\n\
+    \  (* commutative xor, order-free: btr-lint: allow hashtbl-order\n\
+    \     btr-lint: allow fingerprint-order *)\n\
+    \  Fnv.hash64 (Hashtbl.fold (fun _ v a -> a ^ v) h \"\")\n"
+  in
+  check_bool "both suppressible in one comment" true (rules src = []);
+  let only_l001 =
+    "let fp h =\n\
+    \  (* btr-lint: allow hashtbl-order *)\n\
+    \  Fnv.hash64 (Hashtbl.fold (fun _ v a -> a ^ v) h \"\")\n"
+  in
+  check_bool "allowing L001 does not silence L005" true
+    (rules only_l001 = [ Lint.Fingerprint_order ])
+
 let test_parse_error_reported () =
   match Lint.lint_string ~file:"bad.ml" "let let = in" with
   | Error _ -> ()
@@ -107,7 +152,7 @@ let test_parse_error_reported () =
 let test_rule_ids_stable () =
   check_bool "ids" true
     (List.map Lint.rule_id Lint.all_rules
-    = [ "BTR-L001"; "BTR-L002"; "BTR-L003"; "BTR-L004" ]);
+    = [ "BTR-L001"; "BTR-L002"; "BTR-L003"; "BTR-L004"; "BTR-L005" ]);
   check_bool "names roundtrip" true
     (List.for_all
        (fun r -> Lint.rule_of_name (Lint.rule_name r) = Some r)
@@ -125,6 +170,9 @@ let suite =
     ("suppression is rule-specific", `Quick, test_suppression_wrong_rule);
     ("suppression does not leak down the file", `Quick, test_suppression_does_not_leak);
     ("directives inside strings are inert", `Quick, test_directive_in_string_is_inert);
+    ("Hashtbl iterator inside Fnv call is L005", `Quick, test_fingerprint_order_hit);
+    ("L005 stays quiet off the fingerprint path", `Quick, test_fingerprint_order_quiet);
+    ("L005 suppression is independent of L001", `Quick, test_fingerprint_order_suppression);
     ("parse errors are reported", `Quick, test_parse_error_reported);
     ("rule ids are stable", `Quick, test_rule_ids_stable);
   ]

@@ -16,6 +16,7 @@ let () =
       ("planner", Test_planner.suite);
       ("modeswitch", Test_modeswitch.suite);
       ("check", Test_check.suite);
+      ("incr", Test_incr.suite);
       ("lint", Test_lint.suite);
       ("core", Test_core.suite);
       ("campaign", Test_campaign.suite);

@@ -4,6 +4,7 @@
 
 open Btr_util
 module Campaign = Btr_campaign.Campaign
+module Orchestrate = Btr_campaign.Orchestrate
 
 let grid =
   {
@@ -66,6 +67,69 @@ let run ?json_file () =
   (* On a single-core host the speedup column cannot exceed 1x: the
      domains timeshare one CPU. The determinism cross-check is the part
      that must hold everywhere. *)
+  (* Adaptive frontier vs exhaustive grid scan on a fixed R slice: both
+     must locate the same boundary; the frontier's value is doing it in
+     far fewer probe trials. *)
+  let fspec =
+    {
+      Orchestrate.slice_grid = Campaign.default_grid;
+      axis = Orchestrate.Axis_r;
+      lo = Time.ms 50;
+      hi = Time.ms 400;
+      tolerance = Time.ms 10;
+      probes = 2;
+      fseed = 42;
+    }
+  in
+  let timed search =
+    let t0 = now () in
+    match search fspec with
+    | Error m -> failwith ("frontier bench: " ^ m)
+    | Ok r -> (r, now () -. t0)
+  in
+  let fr, fr_dt = timed (fun fs -> Orchestrate.frontier fs) in
+  let gr, gr_dt = timed (fun fs -> Orchestrate.grid_scan fs) in
+  let boundary_match =
+    List.length fr.Orchestrate.slices = List.length gr.Orchestrate.slices
+    && List.for_all2
+         (fun (a : Orchestrate.slice_result) (b : Orchestrate.slice_result) ->
+           a.Orchestrate.found = b.Orchestrate.found)
+         fr.Orchestrate.slices gr.Orchestrate.slices
+  in
+  let boundary_str (r : Orchestrate.frontier_result) =
+    match r.Orchestrate.slices with
+    | [ { Orchestrate.found = Some b; _ } ] ->
+      Printf.sprintf "admit >= %s" (Time.to_string b.Orchestrate.admit_at)
+    | _ -> "-"
+  in
+  let ftable =
+    Table.create
+      ~title:
+        (Printf.sprintf "CB  Frontier vs grid (axis r, %s..%s, tol %s, %d probes/point)"
+           (Time.to_string fspec.Orchestrate.lo)
+           (Time.to_string fspec.Orchestrate.hi)
+           (Time.to_string fspec.Orchestrate.tolerance)
+           fspec.Orchestrate.probes)
+      ~header:[ "method"; "trials"; "seconds"; "boundary" ]
+  in
+  Table.add_row ftable
+    [
+      "grid scan";
+      string_of_int gr.Orchestrate.total_probes;
+      Printf.sprintf "%.3f" gr_dt;
+      boundary_str gr;
+    ];
+  Table.add_row ftable
+    [
+      "frontier";
+      string_of_int fr.Orchestrate.total_probes;
+      Printf.sprintf "%.3f" fr_dt;
+      boundary_str fr;
+    ];
+  Table.print ftable;
+  print_endline
+    (if boundary_match then "frontier matches exhaustive boundary: OK"
+     else "FRONTIER BOUNDARY MISMATCH");
   match json_file with
   | None -> ()
   | Some file ->
@@ -86,5 +150,8 @@ let run ?json_file () =
           (int_of_float ((base /. dt *. 100.0) +. 0.5))
           fp)
       rows;
+    Printf.fprintf oc
+      "{\"bench\":\"frontier_vs_grid\",\"grid_trials\":%d,\"frontier_trials\":%d,\"boundary_match\":%b}\n"
+      gr.Orchestrate.total_probes fr.Orchestrate.total_probes boundary_match;
     close_out oc;
     Printf.printf "wrote %s\n" file

@@ -359,6 +359,7 @@ let workloads_cmd =
 (* campaign run | replay | report                                      *)
 
 module Campaign = Btr_campaign.Campaign
+module Orchestrate = Btr_campaign.Orchestrate
 
 let criticality_of_name = function
   | "best-effort" -> Ok Task.Best_effort
@@ -424,44 +425,10 @@ let write_lines file lines =
 let list_opt ~names ~default ~docv ~doc cv =
   Arg.(value & opt (list cv) default & info names ~docv ~doc)
 
-let campaign_run_cmd =
-  let doc = "Run a randomized fault-injection campaign over a parameter grid." in
-  let run workloads topologies node_counts fault_bounds r_ms bandwidths protects
-      shares classes trials seed jobs json_file no_shrink shrink_budget trace
-      metrics =
-    match grid_of workloads topologies node_counts fault_bounds r_ms bandwidths
-            protects shares classes
-    with
-    | Error m -> usage_error m
-    | Ok grid ->
-      if trials <= 0 then usage_error "trials must be positive"
-      else if jobs < 0 then usage_error "jobs must be >= 1"
-      else
-        with_obs ~trace ~metrics (fun obs ->
-            let spec =
-              Campaign.spec ~grid ~trials ~seed ~shrink:(not no_shrink)
-                ~shrink_budget ()
-            in
-            let jobs = if jobs = 0 then Campaign.default_jobs () else jobs in
-            let result = Campaign.run ?obs ~jobs spec in
-            let lines = Campaign.result_json_lines result in
-            (match json_file with
-            | Some "-" -> List.iter print_endline lines
-            | Some file -> write_lines file lines
-            | None -> ());
-            (match Campaign.render_report lines with
-            | Ok report -> print_string report
-            | Error m -> Printf.eprintf "internal report error: %s\n" m);
-            if result.Campaign.violations <> [] then begin
-              List.iter
-                (fun (s : Campaign.shrunk_violation) ->
-                  Printf.printf "\nreproducer (trial %d):\n%s"
-                    s.Campaign.source.Campaign.index s.Campaign.snippet)
-                result.Campaign.violations;
-              3
-            end
-            else 0)
-  in
+(* The grid-axis option set, shared by `campaign run` (the cross
+   product it executes) and `campaign frontier` (the config slices it
+   bisects). Evaluates to the parsed-and-validated grid. *)
+let grid_args =
   let workloads =
     list_opt ~names:[ "workload"; "w" ] ~default:[ "avionics" ] ~docv:"LIST"
       ~doc:"Workloads to cross: avionics, scada, random." Arg.string
@@ -504,37 +471,9 @@ let campaign_run_cmd =
          campaign (e.g. --classes omitto for selective-omission conformance)."
       Arg.string
   in
-  let trials =
-    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Number of trials to run.")
-  in
-  let jobs =
-    Arg.(
-      value & opt int 0
-      & info [ "jobs"; "j" ]
-          ~doc:
-            "Worker domains (0 = one less than the recommended domain count). \
-             Verdicts are identical for every value.")
-  in
-  let json_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the JSONL artifact to $(docv) ('-' for stdout).")
-  in
-  let no_shrink =
-    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report violations unminimized.")
-  in
-  let shrink_budget =
-    Arg.(
-      value & opt int 150
-      & info [ "shrink-budget" ] ~doc:"Max shrink replays per violation.")
-  in
-  Cmd.v (Cmd.info "run" ~doc)
-    Term.(
-      const run $ workloads $ topologies $ node_counts $ fault_bounds $ r_ms
-      $ bandwidths $ protects $ shares $ classes $ trials $ seed_arg $ jobs
-      $ json_file $ no_shrink $ shrink_budget $ trace_arg $ metrics_arg)
+  Term.(
+    const grid_of $ workloads $ topologies $ node_counts $ fault_bounds $ r_ms
+    $ bandwidths $ protects $ shares $ classes)
 
 let read_lines file =
   let ic = open_in file in
@@ -546,6 +485,134 @@ let read_lines file =
       List.rev acc
   in
   go []
+
+let json_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the JSONL artifact to $(docv) ('-' for stdout).")
+
+let campaign_run_cmd =
+  let doc = "Run a randomized fault-injection campaign over a parameter grid." in
+  let run grid_r trials seed jobs json_file no_shrink shrink_budget shard_s resume
+      max_trials trace metrics =
+    match grid_r with
+    | Error m -> usage_error m
+    | Ok grid -> (
+      if trials <= 0 then usage_error "trials must be positive"
+      else if jobs < 0 then usage_error "jobs must be >= 1"
+      else if max_trials <> None && Option.get max_trials <= 0 then
+        usage_error "max-trials must be positive"
+      else
+        match Orchestrate.shard_of_string shard_s with
+        | Error m -> usage_error m
+        | Ok shard -> (
+          let resume_art =
+            match resume, json_file with
+            | false, _ -> Ok None
+            | true, (None | Some "-") ->
+              Error "--resume needs --json FILE (the artifact to continue)"
+            | true, Some file ->
+              if not (Sys.file_exists file) then Ok None
+              else (
+                match Orchestrate.parse_artifact (read_lines file) with
+                | Ok a -> Ok (Some a)
+                | Error m -> Error (Printf.sprintf "%s: %s" file m))
+          in
+          match resume_art with
+          | Error m -> usage_error m
+          | Ok resume ->
+            with_obs ~trace ~metrics (fun obs ->
+                let spec =
+                  Campaign.spec ~grid ~trials ~seed ~shrink:(not no_shrink)
+                    ~shrink_budget ()
+                in
+                let jobs = if jobs = 0 then Campaign.default_jobs () else jobs in
+                match
+                  Orchestrate.run ?obs ~jobs ?resume ?max_trials ~shard spec
+                with
+                | Error m -> usage_error m
+                | Ok r ->
+                  (match json_file with
+                  | Some "-" -> List.iter print_endline r.Orchestrate.lines
+                  | Some file -> write_lines file r.Orchestrate.lines
+                  | None -> ());
+                  if shard.Orchestrate.count > 1 then
+                    Printf.printf "shard %s: %d of %d trials\n"
+                      (Orchestrate.shard_to_string shard)
+                      r.Orchestrate.total trials;
+                  if r.Orchestrate.skipped > 0 then
+                    Printf.printf "resumed: %d recorded verdicts reused, %d executed\n"
+                      r.Orchestrate.skipped r.Orchestrate.executed;
+                  if not r.Orchestrate.complete then
+                    Printf.printf
+                      "incomplete: %d of %d shard trials recorded (continue with \
+                       --resume)\n"
+                      (r.Orchestrate.skipped + r.Orchestrate.executed)
+                      r.Orchestrate.total;
+                  (match Campaign.render_report r.Orchestrate.lines with
+                  | Ok report -> print_string report
+                  | Error m -> Printf.eprintf "internal report error: %s\n" m);
+                  List.iter
+                    (fun (s : Campaign.shrunk_violation) ->
+                      Printf.printf "\nreproducer (trial %d):\n%s"
+                        s.Campaign.source.Campaign.index s.Campaign.snippet)
+                    r.Orchestrate.new_violations;
+                  if r.Orchestrate.has_violations then 3 else 0)))
+  in
+  let trials =
+    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Number of trials to run.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains (0 = one less than the recommended domain count). \
+             Verdicts are identical for every value.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report violations unminimized.")
+  in
+  let shrink_budget =
+    Arg.(
+      value & opt int 150
+      & info [ "shrink-budget" ] ~doc:"Max shrink replays per violation.")
+  in
+  let shard =
+    Arg.(
+      value & opt string "0/1"
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Execute only the trials that hash to shard $(docv) (stable FNV-1a \
+             rule). Run every shard 0/N .. (N-1)/N anywhere, then merge with \
+             $(b,campaign combine) — the result is byte-identical to an \
+             unsharded run.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the artifact at $(b,--json) $(i,FILE) if it exists: \
+             verdicts already recorded there are reused (after a header \
+             fingerprint cross-check against the compiled grid), only the \
+             missing trials execute.")
+  in
+  let max_trials =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-trials" ] ~docv:"N"
+          ~doc:
+            "Execute at most $(docv) trials this invocation and write a \
+             well-formed partial artifact (finish it later with --resume).")
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ grid_args $ trials $ seed_arg $ jobs $ json_file_arg $ no_shrink
+      $ shrink_budget $ shard $ resume $ max_trials $ trace_arg $ metrics_arg)
 
 (* Rebuild a trial from its artifact verdict line. *)
 let trial_from_artifact file index =
@@ -702,25 +769,166 @@ let campaign_replay_cmd =
       const run $ from $ trial_idx $ script_s $ workload_arg $ topology_arg
       $ nodes_arg $ f_arg $ r_arg $ protect $ share $ campaign_seed $ seed_arg)
 
+let campaign_combine_cmd =
+  let doc =
+    "Merge shard artifacts into the canonical campaign artifact (byte-identical \
+     to an unsharded run)."
+  in
+  let run files out =
+    if files = [] then usage_error "need at least one shard artifact"
+    else
+      match
+        try Ok (List.map read_lines files) with Sys_error m -> Error m
+      with
+      | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+      | Ok inputs -> (
+        match Orchestrate.combine inputs with
+        | Error m ->
+          Printf.eprintf "btr campaign combine: %s\n" m;
+          2
+        | Ok (lines, has_violations) ->
+          (match out with
+          | "-" -> List.iter print_endline lines
+          | file ->
+            write_lines file lines;
+            Printf.printf "combined %d shard artifact(s) into %s\n"
+              (List.length files) file);
+          if has_violations then 3 else 0)
+  in
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"SHARD.jsonl" ~doc:"Shard artifacts.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "json"; "o" ] ~docv:"FILE"
+          ~doc:"Write the combined artifact to $(docv) (default stdout).")
+  in
+  Cmd.v (Cmd.info "combine" ~doc) Term.(const run $ files $ out)
+
+let campaign_frontier_cmd =
+  let doc =
+    "Locate the Def-3.1 admit/violate boundary along one axis by per-slice \
+     bisection instead of an exhaustive grid."
+  in
+  let run grid_r axis_s lo hi tol probes seed scan json_file trace metrics =
+    match grid_r with
+    | Error m -> usage_error m
+    | Ok grid -> (
+      match Orchestrate.axis_of_string axis_s with
+      | Error m -> usage_error m
+      | Ok axis ->
+        (* The r axis is specified in ms on the CLI, like --r. *)
+        let scale v =
+          match axis with Orchestrate.Axis_r -> Time.ms v | _ -> v
+        in
+        let fs =
+          {
+            Orchestrate.slice_grid = grid;
+            axis;
+            lo = scale lo;
+            hi = scale hi;
+            tolerance = scale tol;
+            probes;
+            fseed = seed;
+          }
+        in
+        with_obs ~trace ~metrics (fun obs ->
+            let search =
+              if scan then Orchestrate.grid_scan else Orchestrate.frontier
+            in
+            match search ?obs fs with
+            | Error m -> usage_error m
+            | Ok fr ->
+              let lines = Orchestrate.frontier_lines fr in
+              (match json_file with
+              | Some "-" -> List.iter print_endline lines
+              | Some file -> write_lines file lines
+              | None -> ());
+              (match Orchestrate.render_frontier lines with
+              | Ok report -> print_string report
+              | Error m -> Printf.eprintf "internal report error: %s\n" m);
+              0))
+  in
+  let axis =
+    Arg.(
+      value & opt string "r"
+      & info [ "axis" ] ~docv:"AXIS"
+          ~doc:
+            "Numeric axis to bisect: r (recovery bound, ms), f (fault bound), \
+             bandwidth (bits/s) or strikes (omission-strike threshold). The \
+             grid option for that axis is ignored; every other grid option \
+             defines the config slices.")
+  in
+  let lo =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "lo" ] ~docv:"N" ~doc:"Lower end of the search range (ms for axis r).")
+  in
+  let hi =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "hi" ] ~docv:"N" ~doc:"Upper end of the search range (ms for axis r).")
+  in
+  let tol =
+    Arg.(
+      value & opt int 1
+      & info [ "tol" ] ~docv:"N"
+          ~doc:
+            "Boundary tolerance: the bisection lattice step (ms for axis r). \
+             The located boundary is a pair of adjacent lattice points.")
+  in
+  let probes =
+    Arg.(
+      value & opt int 3
+      & info [ "probes" ] ~docv:"N"
+          ~doc:"Randomized fault schedules drawn per evaluated point.")
+  in
+  let scan =
+    Arg.(
+      value & flag
+      & info [ "scan" ]
+          ~doc:
+            "Exhaustively evaluate every lattice point instead of bisecting \
+             (the reference the bisection is audited against).")
+  in
+  Cmd.v (Cmd.info "frontier" ~doc)
+    Term.(
+      const run $ grid_args $ axis $ lo $ hi $ tol $ probes $ seed_arg $ scan
+      $ json_file_arg $ trace_arg $ metrics_arg)
+
 let campaign_report_cmd =
-  let doc = "Render the aggregate report from a campaign JSONL artifact." in
+  let doc =
+    "Render the aggregate report from a campaign (or frontier) JSONL artifact."
+  in
   let run file =
-    match Campaign.render_report (read_lines file) with
-    | Ok report ->
-      print_string report;
-      0
-    | Error m ->
-      Printf.eprintf "error: %s\n" m;
-      1
+    match read_lines file with
     | exception Sys_error m ->
       Printf.eprintf "error: %s\n" m;
       1
+    | lines -> (
+      let rendered =
+        if Orchestrate.is_frontier_artifact lines then
+          Orchestrate.render_frontier lines
+        else Campaign.render_report lines
+      in
+      match rendered with
+      | Ok report ->
+        print_string report;
+        0
+      | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1)
   in
   let file =
     Arg.(
       required
       & opt (some string) None
-      & info [ "from" ] ~docv:"FILE" ~doc:"Campaign JSONL artifact.")
+      & info [ "from" ] ~docv:"FILE" ~doc:"Campaign or frontier JSONL artifact.")
   in
   Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
 
@@ -728,7 +936,13 @@ let campaign_cmd =
   let doc = "Fault-injection campaigns: randomized search for Definition 3.1 violations." in
   Cmd.group
     (Cmd.info "campaign" ~doc)
-    [ campaign_run_cmd; campaign_replay_cmd; campaign_report_cmd ]
+    [
+      campaign_run_cmd;
+      campaign_replay_cmd;
+      campaign_report_cmd;
+      campaign_combine_cmd;
+      campaign_frontier_cmd;
+    ]
 
 (* With no subcommand, run the demo deployment: handy for producing a
    full trace (`btr --trace t.jsonl`) without memorizing options. *)

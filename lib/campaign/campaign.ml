@@ -208,24 +208,34 @@ let tune_of p c =
 
 let resolved_config p = tune_of p (Planner.default_config ~f:p.f ~recovery_bound:p.r)
 
+(* A non-default runtime strike threshold changes the admission answer
+   (BTR-E305 reasons about strikes*period detection latency), so it is
+   part of the cache key whenever it is overridden. [None] keeps the
+   historical key bytes. *)
+let strikes_suffix = function
+  | None -> ""
+  | Some k -> Printf.sprintf "|strikes=%d" k
+
 (* The campaign plan-cache key: workload/topology identity plus the
    total serialization of the resolved planner config. Never physical
    equality — specs embed closures. *)
-let plan_key ~seed p =
-  Printf.sprintf "%s|%s|n=%d|bw=%d|ws=%d|%s" p.workload p.topology p.nodes
+let plan_key ?strikes ~seed p =
+  Printf.sprintf "%s|%s|n=%d|bw=%d|ws=%d|%s%s" p.workload p.topology p.nodes
     p.bandwidth_bps (workload_seed seed)
     (Planner.config_key (resolved_config p))
+    (strikes_suffix strikes)
 
 (* The same key with the requested R zeroed out: R is the one config
    field planning never reads, so two grid points differing only in R
    share plans and schedules — only the verifier's admission answer can
    differ. R-sweep campaigns use this to plan each base config once and
    derive the neighbors via [Planner.with_recovery_bound]. *)
-let base_plan_key ~seed p =
-  Printf.sprintf "%s|%s|n=%d|bw=%d|ws=%d|%s" p.workload p.topology p.nodes
+let base_plan_key ?strikes ~seed p =
+  Printf.sprintf "%s|%s|n=%d|bw=%d|ws=%d|%s%s" p.workload p.topology p.nodes
     p.bandwidth_bps (workload_seed seed)
     (Planner.config_key
        { (resolved_config p) with Planner.recovery_bound = Time.zero })
+    (strikes_suffix strikes)
 
 let period_of ~seed p =
   match workload_of ~seed p with
@@ -441,7 +451,13 @@ module Cache = struct
       derived_strategies = 0;
     }
 
-  let build ~seed p =
+  let runtime_config ?strikes () =
+    match strikes with
+    | None -> Btr.Runtime.default_config
+    | Some k ->
+      { Btr.Runtime.default_config with Btr.Runtime.omission_strikes = k }
+
+  let build ?strikes ~seed p =
     match workload_of ~seed p with
     | Error m -> Error m
     | Ok workload -> (
@@ -454,7 +470,7 @@ module Cache = struct
         in
         (* Scenario.plan includes the Btr_check static gate: a strategy
            the verifier rejects is cached as an error, exactly once. *)
-        match Btr.Scenario.plan s with
+        match Btr.Scenario.plan ~config:(runtime_config ?strikes ()) s with
         | Ok strategy -> Ok strategy
         | Error e -> Error (Format.asprintf "%a" Planner.pp_error e)))
 
@@ -462,9 +478,12 @@ module Cache = struct
 
   (* Admission gate for a derived strategy, mirroring the one inside
      [Scenario.plan] that [build] runs: the static verifier with the
-     default runtime strike threshold, errors formatted identically. *)
-  let admit strategy =
-    let strikes = Btr.Runtime.default_config.Btr.Runtime.omission_strikes in
+     requested (default unless overridden) runtime strike threshold,
+     errors formatted identically. *)
+  let admit ?strikes strategy =
+    let strikes =
+      (runtime_config ?strikes ()).Btr.Runtime.omission_strikes
+    in
     let report = Btr_check.Check.verify ~strikes strategy in
     match Btr_check.Check.to_planner_error report with
     | None -> Ok strategy
@@ -474,8 +493,8 @@ module Cache = struct
      (<100ms for every grid point we generate), building a config twice
      would waste more than the lock hold costs, and only workers whose
      keys collide on this shard wait — the other 15 shards stay free. *)
-  let strategy t p =
-    let key = plan_key ~seed:t.seed p in
+  let strategy ?strikes t p =
+    let key = plan_key ?strikes ~seed:t.seed p in
     let s = shard_of t key in
     Mutex.lock s.lock;
     match Hashtbl.find_opt s.table key with
@@ -485,7 +504,7 @@ module Cache = struct
       v
     | None -> (
       let produce () =
-        let bkey = base_plan_key ~seed:t.seed p in
+        let bkey = base_plan_key ?strikes ~seed:t.seed p in
         Mutex.lock t.base_lock;
         let base = Hashtbl.find_opt t.by_base bkey in
         Mutex.unlock t.base_lock;
@@ -496,9 +515,9 @@ module Cache = struct
           Mutex.lock t.base_lock;
           t.derived_strategies <- t.derived_strategies + 1;
           Mutex.unlock t.base_lock;
-          admit (Planner.with_recovery_bound b p.r)
+          admit ?strikes (Planner.with_recovery_bound b p.r)
         | None ->
-          let v = build ~seed:t.seed p in
+          let v = build ?strikes ~seed:t.seed p in
           (match v with
           | Ok strategy ->
             Mutex.lock t.base_lock;
@@ -561,14 +580,19 @@ let stats_of rt =
     periods = Btr.Metrics.periods_finalized m;
   }
 
-let run_script ~cache p ~runtime_seed script =
-  match Cache.strategy cache p with
+let run_script ?strikes ~cache p ~runtime_seed script =
+  match Cache.strategy ?strikes cache p with
   | Error m -> Rejected m
   | Ok strategy -> (
     try
       let period = Graph.period (Planner.workload strategy) in
       let horizon = horizon_for ~period ~r:p.r script in
-      let config = { Btr.Runtime.default_config with Btr.Runtime.seed = runtime_seed } in
+      let config =
+        {
+          (Cache.runtime_config ?strikes ()) with
+          Btr.Runtime.seed = runtime_seed;
+        }
+      in
       let rt = Btr.Runtime.create ~config ~script ~strategy () in
       Btr.Runtime.run rt ~horizon;
       let st = stats_of rt in
@@ -699,11 +723,14 @@ let shrink_violation ~cache ~budget (t : trial) =
 
 (* --- the domain pool ----------------------------------------------- *)
 
-let run ?obs ?jobs spec =
+(* Execute an explicit trial list (the orchestrator's shard/resume path
+   runs subsets; [run] passes the full compilation). Verdicts come back
+   in list order and all telemetry covers exactly these trials. *)
+let run_trials ?obs ?jobs spec trial_list =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let jobs = match jobs with Some j -> Stdlib.max 1 j | None -> default_jobs () in
   let cache = Cache.create ~seed:spec.seed in
-  let trials = Array.of_list (compile spec) in
+  let trials = Array.of_list trial_list in
   let n = Array.length trials in
   let configs = List.length (grid_params spec.grid) in
   let verdict_of (t : trial) =
@@ -801,6 +828,8 @@ let run ?obs ?jobs spec =
     cache_hits = Cache.hits cache;
     cache_misses = Cache.misses cache;
   }
+
+let run ?obs ?jobs spec = run_trials ?obs ?jobs spec (compile spec)
 
 (* ------------------------------------------------------------------ *)
 (* Schedule codec                                                      *)
@@ -1003,6 +1032,27 @@ let result_json_lines r =
 module Flat_json = struct
   type value = Int of int | Float of float | Str of string | Bool of bool
 
+  (* Shortest decimal form that parses back to the same float: try the
+     15-digit form first, fall back to the always-exact 17 digits. Only
+     meaningful for finite floats — this module never emits non-finite
+     values. Integral floats keep a trailing '.' so the token stays
+     float-shaped: "1" would re-parse as Int and break round-tripping. *)
+  let float_repr f =
+    let s = Printf.sprintf "%.15g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ "."
+
+  let to_string fields =
+    obj (fun b first ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Int i -> add_int b first k i
+            | Float f -> add_field b first k (float_repr f)
+            | Str s -> add_str b first k s
+            | Bool v -> add_bool b first k v)
+          fields)
+
   exception Bad of string
 
   let parse s =
@@ -1124,6 +1174,20 @@ module Flat_json = struct
       Ok (List.rev !fields)
     with Bad m -> Error m
 end
+
+let grid_axes = grid_axes_str
+
+let params_fields (p : params) =
+  [
+    ("workload", Flat_json.Str p.workload);
+    ("topology", Flat_json.Str p.topology);
+    ("nodes", Flat_json.Int p.nodes);
+    ("f", Flat_json.Int p.f);
+    ("r_us", Flat_json.Int p.r);
+    ("bandwidth_bps", Flat_json.Int p.bandwidth_bps);
+    ("protect", Flat_json.Str (Format.asprintf "%a" Task.pp_criticality p.protect));
+    ("control_share", Flat_json.Str (share_str p.control_share));
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)

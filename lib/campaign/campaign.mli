@@ -174,11 +174,13 @@ type result = {
   cache_misses : int;
 }
 
-val plan_key : seed:int -> params -> string
+val plan_key : ?strikes:int -> seed:int -> params -> string
 (** The strategy-cache key: workload/topology identity, node count,
     bandwidth, the workload-generator seed and
     {!Planner.config_key} of the resolved config. Equal keys mean the
-    planner would build the identical strategy. *)
+    planner would build the identical strategy. [strikes] overrides the
+    runtime omission-strike threshold (part of the admission answer, so
+    part of the key); [None] keeps the historical key bytes. *)
 
 (** The strategy cache. Keyed on the workload/topology identity plus
     {!Planner.config_key} of the resolved planner config; shared by the
@@ -197,7 +199,10 @@ module Cache : sig
   (** [seed] fixes the workload-generator stream ([random] workloads),
       which is part of the cache key's identity. *)
 
-  val strategy : t -> params -> (Planner.t, string) Stdlib.result
+  val strategy : ?strikes:int -> t -> params -> (Planner.t, string) Stdlib.result
+  (** [strikes] plans and admits under a non-default omission-strike
+      threshold (a distinct cache key — the frontier's strikes axis). *)
+
   val hits : t -> int
   val misses : t -> int
 
@@ -215,10 +220,12 @@ val default_jobs : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)]. *)
 
 val run_script :
+  ?strikes:int ->
   cache:Cache.t -> params -> runtime_seed:int -> Fault.script -> outcome
 (** Plan (via the cache), deploy, inject, run to the derived horizon and
     judge. The single-trial path that {!run}, the shrinker's predicate
-    and [campaign replay] all share. *)
+    and [campaign replay] all share. [strikes] overrides the runtime
+    omission-strike threshold end to end (admission and deployment). *)
 
 val shrink_violation :
   cache:Cache.t -> budget:int -> trial -> shrunk_violation option
@@ -232,6 +239,13 @@ val run : ?obs:Btr_obs.Obs.t -> ?jobs:int -> spec -> result
     [Violation_shrunk] events and the [campaign.*] counters — all
     emitted post-join from the calling domain, in trial order, so traces
     are identical for every [jobs]. *)
+
+val run_trials : ?obs:Btr_obs.Obs.t -> ?jobs:int -> spec -> trial list -> result
+(** {!run} on an explicit trial list instead of [compile spec]: the
+    orchestrator's shard and resume paths execute subsets through this.
+    Verdicts come back in list order; telemetry (including the
+    [campaign.trials] counter) covers exactly the given trials.
+    [run spec = run_trials spec (compile spec)]. *)
 
 (** {1 Schedule codec}
 
@@ -249,6 +263,10 @@ val script_of_string : string -> (Fault.script, string) Stdlib.result
 
 val verdict_json : verdict -> string
 (** One flat JSON object per trial; byte-deterministic. *)
+
+val violation_json : shrunk_violation -> string
+(** One flat JSON object per shrunk violation (the artifact's violation
+    lines); byte-deterministic. *)
 
 val result_json_lines : result -> string list
 (** The campaign artifact: a header line, one line per verdict, one per
@@ -270,4 +288,20 @@ module Flat_json : sig
   type value = Int of int | Float of float | Str of string | Bool of bool
 
   val parse : string -> ((string * value) list, string) Stdlib.result
+
+  val to_string : (string * value) list -> string
+  (** The canonical encoding {!parse} inverts:
+      [parse (to_string fields) = Ok fields] and re-encoding is
+      byte-identical, for any fields whose floats are finite. Field
+      order is preserved. *)
 end
+
+val grid_axes : grid -> string
+(** The grid-axes summary string artifact headers embed (the ["grid"]
+    field) — stable identity of the config cross product, axis values
+    comma-joined. *)
+
+val params_fields : params -> (string * Flat_json.value) list
+(** The parameter fields exactly as {!verdict_json} embeds them
+    ([workload] … [control_share], in order), for artifact writers that
+    extend the schema — the orchestrator's frontier slice lines. *)

@@ -80,6 +80,14 @@ type payload =
   | Campaign_started of { trials : int; configs : int }
   | Trial_verdict of { trial : int; verdict : string }
   | Violation_shrunk of { trial : int; events_before : int; events_after : int }
+  | Campaign_sharded of { shard : int; shards : int; trials : int }
+  | Campaign_resumed of { skipped : int; remaining : int }
+  | Frontier_located of {
+      slice : int;
+      axis : string;
+      boundary : int;
+      probes : int;
+    }
   | Note of { what : string; detail : string }
 
 type event = {
@@ -216,6 +224,9 @@ let payload_tag = function
   | Campaign_started _ -> "campaign-started"
   | Trial_verdict _ -> "trial-verdict"
   | Violation_shrunk _ -> "violation-shrunk"
+  | Campaign_sharded _ -> "campaign-sharded"
+  | Campaign_resumed _ -> "campaign-resumed"
+  | Frontier_located _ -> "frontier-located"
   | Note _ -> "note"
 
 let add_int b key v =
@@ -341,6 +352,18 @@ let add_payload b = function
     add_int b "trial" trial;
     add_int b "before" events_before;
     add_int b "after" events_after
+  | Campaign_sharded { shard; shards; trials } ->
+    add_int b "shard" shard;
+    add_int b "shards" shards;
+    add_int b "trials" trials
+  | Campaign_resumed { skipped; remaining } ->
+    add_int b "skipped" skipped;
+    add_int b "remaining" remaining
+  | Frontier_located { slice; axis; boundary; probes } ->
+    add_int b "slice" slice;
+    add_str b "axis" axis;
+    add_int b "boundary" boundary;
+    add_int b "probes" probes
   | Note { what; detail } ->
     add_str b "what" what;
     add_str b "detail" detail

@@ -123,6 +123,20 @@ type payload =
       (** one campaign trial finished: [pass]/[violation]/[rejected] *)
   | Violation_shrunk of { trial : int; events_before : int; events_after : int }
       (** the shrinker minimized a bound violation's fault schedule *)
+  | Campaign_sharded of { shard : int; shards : int; trials : int }
+      (** an orchestrated run selected its deterministic shard: [trials]
+          of the full grid's trial list hash to shard [shard] of
+          [shards] *)
+  | Campaign_resumed of { skipped : int; remaining : int }
+      (** a resumed run found [skipped] verdicts already recorded in the
+          artifact and has [remaining] trials left to execute *)
+  | Frontier_located of {
+      slice : int;
+      axis : string;
+      boundary : int;  (** admit-side axis value, or -1 when the slice
+                           has no admit/violate crossing in range *)
+      probes : int;
+    }  (** adaptive frontier search finished one config slice *)
   | Note of { what : string; detail : string }
       (** escape hatch for one-off annotations; keep rare *)
 

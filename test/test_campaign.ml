@@ -503,6 +503,57 @@ let test_flat_json_escapes () =
     check_bool "bool" true
       (List.assoc_opt "b" fields = Some (Campaign.Flat_json.Bool true))
 
+(* Satellite: encode -> parse -> re-encode is the identity on arbitrary
+   field lists, byte for byte. Strings exercise the full escape table
+   (quotes, backslashes, control bytes, high bytes pass through raw);
+   floats are kept finite and must survive exactly, including integral
+   values, which float_repr keeps float-shaped with a trailing '.'. *)
+let prop_flat_json_roundtrip =
+  let module J = Campaign.Flat_json in
+  let gen =
+    let open QCheck.Gen in
+    let any_char = map Char.chr (int_bound 255) in
+    let any_string = string_size ~gen:any_char (int_bound 12) in
+    let finite_float =
+      map (fun f -> if Float.is_finite f then f else 0.5) float
+    in
+    let value =
+      oneof
+        [
+          map (fun i -> J.Int i) int;
+          map (fun b -> J.Bool b) bool;
+          map (fun s -> J.Str s) any_string;
+          map (fun f -> J.Float f) finite_float;
+        ]
+    in
+    list_size (int_bound 8) (pair any_string value)
+  in
+  let print fields =
+    String.concat ";"
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "%S=%s" k
+             (match v with
+             | Campaign.Flat_json.Str s -> Printf.sprintf "Str %S" s
+             | Campaign.Flat_json.Int i -> Printf.sprintf "Int %d" i
+             | Campaign.Flat_json.Bool b -> Printf.sprintf "Bool %b" b
+             | Campaign.Flat_json.Float f -> Printf.sprintf "Float %h" f))
+         fields)
+  in
+  QCheck.Test.make ~name:"flat json encode/parse round-trip" ~count:300
+    (QCheck.make ~print gen) (fun fields ->
+      let line = Campaign.Flat_json.to_string fields in
+      match Campaign.Flat_json.parse line with
+      | Error m -> QCheck.Test.fail_reportf "unparseable %S: %s" line m
+      | Ok back ->
+        if back <> fields then
+          QCheck.Test.fail_reportf "fields changed: %s <> %s" (print back)
+            (print fields)
+        else if Campaign.Flat_json.to_string back <> line then
+          QCheck.Test.fail_reportf "re-encode not byte-identical: %S <> %S"
+            (Campaign.Flat_json.to_string back) line
+        else true)
+
 let test_report_renders () =
   let spec = Campaign.spec ~trials:10 ~seed:7 () in
   let result = Campaign.run ~jobs:1 spec in
@@ -557,6 +608,7 @@ let suite =
     Alcotest.test_case "flat json parses verdicts" `Quick test_flat_json_parses_verdicts;
     Alcotest.test_case "flat json rejects garbage" `Quick test_flat_json_rejects_garbage;
     Alcotest.test_case "flat json unescapes" `Quick test_flat_json_escapes;
+    QCheck_alcotest.to_alcotest prop_flat_json_roundtrip;
     Alcotest.test_case "report renders" `Quick test_report_renders;
     Alcotest.test_case "report rejects garbage" `Quick test_report_rejects_garbage;
   ]

@@ -380,6 +380,45 @@ let prop_accept_implies_bounded_recovery =
               (fun rec_t -> Time.compare rec_t r <= 0)
               (Btr.Metrics.recovery_times (Btr.Runtime.metrics rt)))))
 
+(* KNOWN DIVERGENCE, pinned. The acceptance property above skips
+   deployments whose fault-free run is not clean, and at the current
+   QCHECK_SEED the draw below never comes up — but it is a real
+   counterexample to "verifier accepts => simulated recovery <= R":
+   the verifier accepts workload seed 41 at R = 300ms, yet simulating
+   node 2's crash at 110ms measures an 890ms recovery. This test pins
+   the divergent measurement so the eventual checker/simulator fix
+   flips exactly the last assertion (and deletes this paragraph)
+   instead of surfacing as a mystery property failure. *)
+let test_pinned_divergence_seed41 () =
+  let seed = 41 in
+  let workload =
+    Generators.random_layered ~rng:(Rng.create seed) ~n_nodes:4 ~layers:3
+      ~width:3 ()
+  in
+  let r = Time.ms 300 in
+  let spec ?script () =
+    Btr.Scenario.spec ~workload ~topology:(clique 4) ~f:1 ~recovery_bound:r
+      ?script ~horizon:(Time.sec 1) ~seed ()
+  in
+  check_bool "verifier accepts the seed-41 deployment" true
+    (Result.is_ok (Btr.Scenario.plan (spec ())));
+  (match
+     Btr.Scenario.run
+       (spec ~script:(Fault.single ~at:(Time.ms 110) ~node:2 Fault.Crash) ())
+   with
+  | Error e -> Alcotest.failf "faulted run failed to deploy: %a" Planner.pp_error e
+  | Ok rt ->
+    let worst =
+      List.fold_left Time.max Time.zero
+        (Btr.Metrics.recovery_times (Btr.Runtime.metrics rt))
+    in
+    Alcotest.(check int)
+      "pinned divergent recovery (us)" 890_000 worst;
+    (* Flip this assertion to [<= 0] once the divergence is fixed. *)
+    check_bool "simulated recovery exceeds accepted R (known divergence)"
+      true
+      (Time.compare worst r > 0))
+
 (* The omission-shaped generalization: acceptance must also survive the
    adversary the old detector starved on. Draw a sender and a random
    nonempty subset of the other nodes as omission targets; accepted
@@ -521,6 +560,9 @@ let suite =
     ("JSON report order is stable", `Quick, test_json_order_stable);
     ("scenario rejects an infeasible plan", `Quick, test_scenario_rejects);
     ("corpus covers every code", `Quick, test_every_code_covered);
+    ( "pinned divergence: seed 41 accepted but recovers in 890ms",
+      `Quick,
+      test_pinned_divergence_seed41 );
     QCheck_alcotest.to_alcotest prop_accept_implies_bounded_recovery;
     QCheck_alcotest.to_alcotest prop_accept_implies_bounded_recovery_omitto;
     QCheck_alcotest.to_alcotest prop_e305_reject_implies_violating_schedule;

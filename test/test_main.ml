@@ -20,6 +20,7 @@ let () =
       ("lint", Test_lint.suite);
       ("core", Test_core.suite);
       ("campaign", Test_campaign.suite);
+      ("orchestrate", Test_orchestrate.suite);
       ("runtime", Test_runtime.suite);
       ("conformance", Test_conformance.suite);
       ("baselines", Test_baselines.suite);

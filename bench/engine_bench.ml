@@ -3,8 +3,10 @@
    Three axes: raw schedule+drain throughput, steady-state throughput at
    increasing queue depths (periodic tasks re-arming themselves, the
    runtime's actual shape), and drain time under increasing cancelled
-   fractions (the compaction path). Writes BENCH_engine.json with
-   --json. *)
+   fractions. Runs against the process-default backend (see
+   --engine-backend); each row also reports the allocation diet — cells
+   allocated fresh vs served from the wheel's pool (zeros on the pheap
+   backend, which has no pool). Writes BENCH_engine.json with --json. *)
 
 open Btr_util
 module Engine = Btr_sim.Engine
@@ -14,6 +16,18 @@ module Engine = Btr_sim.Engine
 let now () = Unix.gettimeofday ()
 
 let events_per_sec events dt = int_of_float ((float_of_int events /. dt) +. 0.5)
+
+let engine_counter e name =
+  match
+    List.assoc_opt
+      ("sim.engine." ^ name)
+      (Btr_obs.Obs.Registry.counters (Btr_obs.Obs.registry (Engine.obs e)))
+  with
+  | Some v -> v
+  | None -> 0
+
+(* allocation columns: fresh cells vs pool reuses over the bench run *)
+let alloc_stats e = (engine_counter e "cells", engine_counter e "pool-reuse")
 
 (* One-shot events at scattered times, drained once: the push/step
    baseline with no re-arming and no cancellations. *)
@@ -26,7 +40,7 @@ let bench_drain n =
   Engine.run e;
   let dt = now () -. t0 in
   assert (Engine.events_processed e = n);
-  dt
+  (dt, alloc_stats e)
 
 (* [depth] periodic tasks re-arm themselves until ~[total] events have
    fired: sustained throughput with the queue pinned at [depth]. *)
@@ -37,17 +51,20 @@ let bench_depth ~depth ~total =
   for i = 0 to depth - 1 do
     (* stagger starts across one period so every task is live from the
        first period whatever the depth *)
-    ignore (Engine.every e ~period ~start:(Time.us (i mod period)) (fun _ -> incr fired))
+    ignore
+      (Engine.every e ~period ~start:(Time.us (i mod period)) (fun _ ->
+           incr fired))
   done;
   let horizon = Time.mul period (total / depth) in
   let t0 = now () in
   Engine.run ~until:horizon e;
   let dt = now () -. t0 in
-  (!fired, dt)
+  (!fired, dt, alloc_stats e)
 
-(* Schedule [n] events, cancel [pct]% of them up front, drain. With a
-   dominating dead fraction the compaction path keeps the heap small;
-   without it every cancelled event still costs heap comparisons. *)
+(* Schedule [n] events, cancel [pct]% of them up front, drain. The
+   wheel unlinks cancelled cells eagerly, so drain cost must scale
+   with the live events only; the pheap walks dead events until its
+   compaction threshold trips. *)
 let bench_cancelled ~n ~pct =
   let e = Engine.create () in
   let live = ref 0 in
@@ -61,40 +78,58 @@ let bench_cancelled ~n ~pct =
   Engine.run e;
   let dt = now () -. t0 in
   assert (Engine.events_processed e = expected && !live = expected);
-  (expected, dt)
+  (expected, dt, alloc_stats e)
 
-let run ?json_file () =
+let run ?json_file ?max_depth () =
+  let backend = Engine.backend_name (Engine.default_backend ()) in
   let drain_n = 200_000 in
-  let depth_total = 200_000 in
-  let depths = [ 100; 1_000; 10_000; 100_000 ] in
+  let depths =
+    let all = [ 100; 1_000; 10_000; 100_000; 1_000_000 ] in
+    match max_depth with
+    | None -> all
+    | Some cap -> List.filter (fun d -> d <= cap) all
+  in
+  (* enough horizon that even the deepest row sustains two full periods
+     (shallower rows just re-arm more often), and enough events that
+     every row runs long enough to measure above scheduler noise *)
+  let depth_total depth = max 1_000_000 (2 * depth) in
   let cancel_n = 100_000 in
   let cancel_pcts = [ 0; 25; 50; 90 ] in
   let table =
     Table.create
-      ~title:(Printf.sprintf "EB  Engine throughput (%d-event workloads)" drain_n)
-      ~header:[ "workload"; "events"; "seconds"; "events/sec" ]
+      ~title:
+        (Printf.sprintf "EB  Engine throughput (%s backend, %d-event workloads)"
+           backend drain_n)
+      ~header:
+        [ "workload"; "events"; "seconds"; "events/sec"; "cells"; "pooled" ]
   in
-  let row name events dt =
+  let row name events dt (cells, pooled) =
     Table.add_row table
-      [ name; string_of_int events; Printf.sprintf "%.3f" dt;
-        string_of_int (events_per_sec events dt) ]
+      [
+        name;
+        string_of_int events;
+        Printf.sprintf "%.3f" dt;
+        string_of_int (events_per_sec events dt);
+        string_of_int cells;
+        string_of_int pooled;
+      ]
   in
-  let drain_dt = bench_drain drain_n in
-  row "schedule+drain" drain_n drain_dt;
+  let drain_dt, drain_alloc = bench_drain drain_n in
+  row "schedule+drain" drain_n drain_dt drain_alloc;
   let depth_rows =
     List.map
       (fun depth ->
-        let fired, dt = bench_depth ~depth ~total:depth_total in
-        row (Printf.sprintf "steady depth %d" depth) fired dt;
-        (depth, fired, dt))
+        let fired, dt, alloc = bench_depth ~depth ~total:(depth_total depth) in
+        row (Printf.sprintf "steady depth %d" depth) fired dt alloc;
+        (depth, fired, dt, alloc))
       depths
   in
   let cancel_rows =
     List.map
       (fun pct ->
-        let fired, dt = bench_cancelled ~n:cancel_n ~pct in
-        row (Printf.sprintf "cancelled %d%%" pct) fired dt;
-        (pct, fired, dt))
+        let fired, dt, alloc = bench_cancelled ~n:cancel_n ~pct in
+        row (Printf.sprintf "cancelled %d%%" pct) fired dt alloc;
+        (pct, fired, dt, alloc))
       cancel_pcts
   in
   Table.print table;
@@ -102,26 +137,28 @@ let run ?json_file () =
   | None -> ()
   | Some file ->
     let oc = open_out file in
+    let drain_cells, drain_pooled = drain_alloc in
     Printf.fprintf oc
-      "{\"bench\":\"engine\",\"drain_events\":%d,\"drain_millis\":%d,\"drain_events_per_sec\":%d}\n"
-      drain_n
+      "{\"bench\":\"engine\",\"backend\":%S,\"drain_events\":%d,\"drain_millis\":%d,\"drain_events_per_sec\":%d,\"cells_allocated\":%d,\"cells_reused\":%d}\n"
+      backend drain_n
       (int_of_float ((drain_dt *. 1000.0) +. 0.5))
-      (events_per_sec drain_n drain_dt);
+      (events_per_sec drain_n drain_dt)
+      drain_cells drain_pooled;
     List.iter
-      (fun (depth, fired, dt) ->
+      (fun (depth, fired, dt, (cells, pooled)) ->
         Printf.fprintf oc
-          "{\"mode\":\"depth\",\"depth\":%d,\"events\":%d,\"millis\":%d,\"events_per_sec\":%d}\n"
+          "{\"mode\":\"depth\",\"depth\":%d,\"events\":%d,\"millis\":%d,\"events_per_sec\":%d,\"cells_allocated\":%d,\"cells_reused\":%d}\n"
           depth fired
           (int_of_float ((dt *. 1000.0) +. 0.5))
-          (events_per_sec fired dt))
+          (events_per_sec fired dt) cells pooled)
       depth_rows;
     List.iter
-      (fun (pct, fired, dt) ->
+      (fun (pct, fired, dt, (cells, pooled)) ->
         Printf.fprintf oc
-          "{\"mode\":\"cancelled\",\"cancelled_pct\":%d,\"live_events\":%d,\"millis\":%d,\"events_per_sec\":%d}\n"
+          "{\"mode\":\"cancelled\",\"cancelled_pct\":%d,\"live_events\":%d,\"millis\":%d,\"events_per_sec\":%d,\"cells_allocated\":%d,\"cells_reused\":%d}\n"
           pct fired
           (int_of_float ((dt *. 1000.0) +. 0.5))
-          (events_per_sec fired dt))
+          (events_per_sec fired dt) cells pooled)
       cancel_rows;
     close_out oc;
     Printf.printf "wrote %s\n" file

@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --campaign        # campaign throughput
      dune exec bench/main.exe -- --campaign --json # + BENCH_campaign.json
      dune exec bench/main.exe -- --engine --json   # + BENCH_engine.json
+     dune exec bench/main.exe -- --engine --engine-max-depth 100000  # CI smoke
+     dune exec bench/main.exe -- --engine --engine-backend pheap # old backend
      dune exec bench/main.exe -- --planner --json  # + BENCH_planner.json
      dune exec bench/main.exe -- --planner --planner-max 1000  # CI smoke
      dune exec bench/main.exe -- --trace t.jsonl --metrics m.json
@@ -44,6 +46,7 @@ let () =
   let engine = ref false in
   let planner = ref false in
   let planner_max = ref None in
+  let engine_max_depth = ref None in
   let json = ref false in
   let trace = ref None in
   let metrics = ref None in
@@ -63,6 +66,16 @@ let () =
       collect acc rest
     | "--planner-max" :: n :: rest ->
       planner_max := int_of_string_opt n;
+      collect acc rest
+    | "--engine-max-depth" :: n :: rest ->
+      engine_max_depth := int_of_string_opt n;
+      collect acc rest
+    | "--engine-backend" :: b :: rest ->
+      (match Btr_sim.Engine.backend_of_string b with
+      | Some backend -> Btr_sim.Engine.set_default_backend backend
+      | None ->
+        Printf.eprintf "unknown engine backend %S (have: wheel, pheap)\n" b;
+        exit 2);
       collect acc rest
     | "--json" :: rest ->
       json := true;
@@ -87,7 +100,7 @@ let () =
   if !engine then
     Engine_bench.run
       ?json_file:(if !json then Some "BENCH_engine.json" else None)
-      ();
+      ?max_depth:!engine_max_depth ();
   if !planner then
     Planner_bench.run
       ?json_file:(if !json then Some "BENCH_planner.json" else None)

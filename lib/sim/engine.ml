@@ -1,78 +1,228 @@
 open Btr_util
 module Obs = Btr_obs.Obs
 
-(* A handle carries the shared live-event counter rather than the engine
-   itself: the event type sits inside the pairing-heap functor, so
-   pointing handles at [t] would close a type cycle through [Eq.t]. *)
-type counters = { mutable live : int }
+type backend = Wheel | Pheap
 
-type handle = { mutable alive : bool; mutable queued : int; ctrs : counters }
-
-type event = { at : Time.t; seq : int; fire : unit -> unit; handle : handle }
-
-module Eq = Pheap.Make (struct
-  type t = event
-
-  let compare a b =
-    match Time.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c
-end)
-
-type t = {
-  mutable clock : Time.t;
-  mutable queue : Eq.t;
-  mutable queue_len : int;  (* events physically queued, cancelled included *)
-  mutable next_seq : int;
-  mutable processed : int;
+(* A handle carries the shared per-engine [counters] record rather than
+   the engine itself: [cancel] takes only a handle, and the static nil
+   values below must stay constructible, so [counters.env] smuggles in
+   the two things cancellation needs from the engine — the wheel (for
+   the O(1) unlink) and the obs counter — behind a constant
+   constructor. *)
+type handle = {
+  mutable alive : bool;
+  mutable queued : int;
+  mutable fire : t -> unit;
+      (* the user's callback, stored directly — no wrapper closure, so
+         firing reads one fewer cache line and scheduling allocates
+         only the handle *)
+  mutable period : int;
+      (* -1 one-shot; else the engine re-arms every [period] µs. Native
+         rather than closed over: the re-arm state rides the handle
+         record the firing path has already loaded. *)
+  mutable next_at : Time.t; (* the armed deadline when period >= 0 *)
+  mutable cell : handle Twheel.cell;
+      (* the armed wheel cell; [nil_cell] when unarmed or on pheap *)
   ctrs : counters;
-  rng : Rng.t;
-  obs : Obs.t;
 }
 
-let create ?(seed = 1) ?obs () =
-  let obs = match obs with Some o -> o | None -> Obs.create () in
+and counters = { mutable live : int; env : env }
+
+and env =
+  | Nil_env
+  | Env of { wq : handle Twheel.t option; c_cancelled : Obs.Counter.t }
+
+(* [fire : t -> unit] closes a type cycle through the event queue, so
+   the pairing-heap backend hides its state behind closures ([pq],
+   built by [make_pq] below) rather than appearing in these types —
+   a functor application cannot join a recursive type group. *)
+and t = {
+  mutable clock : Time.t;
+  q : queue;
+  mutable next_seq : int;
+  mutable processed : int;
+  ectrs : counters;
+  rng : Rng.t;
+  obs : Obs.t;
+  c_scheduled : Obs.Counter.t;
+  c_fired : Obs.Counter.t;
+  c_pool : Obs.Counter.t;
+  c_cells : Obs.Counter.t;
+}
+
+and queue = Qw of handle Twheel.t | Qp of pq
+
+and pq = {
+  pq_insert : at:Time.t -> seq:int -> handle -> live:int -> unit;
+  pq_find_min : unit -> (Time.t * handle) option;
+  pq_delete_min : live:int -> unit;
+  pq_len : unit -> int;
+}
+
+let nop _ = ()
+
+(* The knot the wheel's intrusive cells require: a detached sentinel
+   cell whose payload is a dead handle whose cell is the sentinel.
+   Shared by every engine — the wheel never mutates its nil, so this is
+   safe across campaign domains. *)
+let rec nil_handle =
   {
-    clock = Time.zero;
-    queue = Eq.empty;
-    queue_len = 0;
-    next_seq = 0;
-    processed = 0;
-    ctrs = { live = 0 };
-    rng = Rng.create seed;
-    obs;
+    alive = false;
+    queued = 0;
+    fire = nop;
+    period = -1;
+    next_at = 0;
+    cell = nil_cell;
+    ctrs = { live = 0; env = Nil_env };
   }
 
+and nil_cell =
+  {
+    Twheel.c_at = 0;
+    c_seq = 0;
+    c_payload = nil_handle;
+    c_prev = nil_cell;
+    c_next = nil_cell;
+    c_lvl = -1;
+  }
+
+type pevent = { pat : Time.t; pseq : int; ph : handle }
+
+module Eq = Pheap.Make (struct
+  type t = pevent
+
+  let compare a b =
+    match Time.compare a.pat b.pat with
+    | 0 -> Int.compare a.pseq b.pseq
+    | c -> c
+end)
+
+(* Pheap backend only: cancelled events stay in the heap until popped —
+   unless they come to dominate it, in which case the heap is rebuilt
+   from the live events. (at, seq) ordering is total, so a rebuild can
+   never change which event fires next. The wheel needs none of this:
+   cancel unlinks its cell eagerly, so no dead cell is ever queued. *)
+let dead_floor = 64
+
+let make_pq () =
+  let heap = ref Eq.empty in
+  (* events physically queued, cancelled included *)
+  let plen = ref 0 in
+  let compact live =
+    let dead = !plen - live in
+    if dead >= dead_floor && dead * 2 > !plen then begin
+      let keep =
+        Eq.fold (fun acc ev -> if ev.ph.alive then ev :: acc else acc) [] !heap
+      in
+      heap := Eq.of_list keep;
+      plen := live
+    end
+  in
+  {
+    pq_insert =
+      (fun ~at ~seq h ~live ->
+        heap := Eq.insert { pat = at; pseq = seq; ph = h } !heap;
+        incr plen;
+        compact live);
+    pq_find_min =
+      (fun () ->
+        match Eq.find_min !heap with
+        | None -> None
+        | Some ev -> Some (ev.pat, ev.ph));
+    pq_delete_min =
+      (fun ~live ->
+        (match Eq.delete_min !heap with
+        | Some (_, rest) -> heap := rest
+        | None -> ());
+        decr plen;
+        (* Checked on pop as well as push: a mass cancel followed by a
+           pure drain must still shed its dead weight. *)
+        compact live);
+    pq_len = (fun () -> !plen);
+  }
+
+(* The process-wide default, so `--engine-backend` reaches every engine
+   a campaign's worker domains create without threading a parameter
+   through Runtime/Scenario/Campaign configs (whose records feed
+   fingerprints). Set once at CLI parse time, before any domain spawns;
+   read-only afterwards. *)
+let default_backend_ref = ref Wheel
+let set_default_backend b = default_backend_ref := b
+let default_backend () = !default_backend_ref
+let backend_name = function Wheel -> "wheel" | Pheap -> "pheap"
+
+let backend_of_string = function
+  | "wheel" -> Some Wheel
+  | "pheap" -> Some Pheap
+  | _ -> None
+
+let create ?(seed = 1) ?backend ?obs () =
+  let backend =
+    match backend with Some b -> b | None -> !default_backend_ref
+  in
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let counter name = Obs.Registry.counter (Obs.registry obs) Obs.Sim name in
+  let c_cancelled = counter "engine.cancelled" in
+  let q, env =
+    match backend with
+    | Wheel ->
+      let w = Twheel.create ~nil:nil_cell () in
+      (Qw w, Env { wq = Some w; c_cancelled })
+    | Pheap -> (Qp (make_pq ()), Env { wq = None; c_cancelled })
+  in
+  {
+    clock = Time.zero;
+    q;
+    next_seq = 0;
+    processed = 0;
+    ectrs = { live = 0; env };
+    rng = Rng.create seed;
+    obs;
+    c_scheduled = counter "engine.scheduled";
+    c_fired = counter "engine.fired";
+    c_pool = counter "engine.pool-reuse";
+    c_cells = counter "engine.cells";
+  }
+
+let backend_of t = match t.q with Qw _ -> Wheel | Qp _ -> Pheap
 let now t = t.clock
 let rng t = t.rng
 let obs t = t.obs
 
-let new_handle t = { alive = true; queued = 0; ctrs = t.ctrs }
+let new_handle t =
+  {
+    alive = true;
+    queued = 0;
+    fire = nop;
+    period = -1;
+    next_at = 0;
+    cell = nil_cell;
+    ctrs = t.ectrs;
+  }
 
-(* Cancelled events stay in the heap until popped — unless they come to
-   dominate it. Long campaigns cancel periodic work wholesale (mode
-   switches, teardown), and every comparison a trial's hot loop makes
-   against a dead event is pure waste, so once the dead fraction crosses
-   1/2 (with a floor that keeps small queues out of it) the heap is
-   rebuilt from the live events only. (at, seq) ordering is total, so a
-   rebuild can never change which event fires next. *)
-let dead_floor = 64
-
-let maybe_compact t =
-  let dead = t.queue_len - t.ctrs.live in
-  if dead >= dead_floor && dead * 2 > t.queue_len then begin
-    let keep =
-      Eq.fold (fun acc ev -> if ev.handle.alive then ev :: acc else acc) [] t.queue
-    in
-    t.queue <- Eq.of_list keep;
-    t.queue_len <- t.ctrs.live
+let push t ~at h =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (match t.q with
+   | Qw w ->
+     (* A dead handle's re-arm (periodic task cancelled from inside its
+        own callback) links nothing, but still consumed a sequence
+        number above, so both backends assign identical seqs to
+        identical op scripts — the differential harness depends on
+        this. *)
+     if h.alive then begin
+       if Twheel.pool_ready w then Obs.Counter.incr t.c_pool
+       else Obs.Counter.incr t.c_cells;
+       h.cell <- Twheel.add w ~at ~seq h;
+       h.queued <- h.queued + 1
+     end
+   | Qp p ->
+     p.pq_insert ~at ~seq h ~live:t.ectrs.live;
+     h.queued <- h.queued + 1);
+  if h.alive then begin
+    t.ectrs.live <- t.ectrs.live + 1;
+    Obs.Counter.incr t.c_scheduled
   end
-
-let push t ~at h fire =
-  t.queue <- Eq.insert { at; seq = t.next_seq; fire; handle = h } t.queue;
-  t.next_seq <- t.next_seq + 1;
-  t.queue_len <- t.queue_len + 1;
-  h.queued <- h.queued + 1;
-  if h.alive then t.ctrs.live <- t.ctrs.live + 1;
-  maybe_compact t
 
 let schedule t ~at f =
   if Time.compare at t.clock < 0 then
@@ -80,7 +230,8 @@ let schedule t ~at f =
       (Printf.sprintf "Engine.schedule: at=%s is before now=%s"
          (Time.to_string at) (Time.to_string t.clock));
   let h = new_handle t in
-  push t ~at h (fun () -> f t);
+  h.fire <- f;
+  push t ~at h;
   h
 
 let schedule_in t ~delay f =
@@ -93,58 +244,110 @@ let every t ~period ?start f =
     match start with Some s -> s | None -> Time.add t.clock period
   in
   (* One handle guards every firing, so cancelling it also voids the
-     firing already sitting in the queue; one closure serves every
-     firing (the armed time lives in [next]), so re-arming allocates
-     only the event itself. *)
+     firing already sitting in the queue. Re-arming is native (see
+     [rearm]): it allocates nothing — on the wheel the freshly recycled
+     cell is reused — and touches no state off the handle record. *)
   let h = new_handle t in
-  let next = ref start in
-  let rec tick () =
-    f t;
-    next := Time.add !next period;
-    push t ~at:!next h tick
-  in
-  push t ~at:start h tick;
+  h.fire <- f;
+  h.period <- period;
+  h.next_at <- start;
+  push t ~at:start h;
   h
 
 let cancel h =
   if h.alive then begin
     h.alive <- false;
-    h.ctrs.live <- h.ctrs.live - h.queued
+    h.ctrs.live <- h.ctrs.live - h.queued;
+    match h.ctrs.env with
+    | Nil_env -> ()
+    | Env e ->
+      if h.queued > 0 then Obs.Counter.add e.c_cancelled h.queued;
+      (match e.wq with
+       | Some w ->
+         if h.cell != nil_cell then begin
+           ignore (Twheel.unlink w h.cell : bool);
+           h.cell <- nil_cell;
+           h.queued <- 0
+         end
+       | None -> ())
   end
 
-let step t =
-  match Eq.delete_min t.queue with
-  | None -> false
-  | Some (ev, rest) ->
-    t.queue <- rest;
-    t.queue_len <- t.queue_len - 1;
-    let h = ev.handle in
-    h.queued <- h.queued - 1;
-    (* Checked on pop as well as push: a mass cancel followed by a pure
-       drain (no further pushes) must still shed its dead weight. *)
-    maybe_compact t;
-    t.clock <- ev.at;
-    if h.alive then begin
-      t.ctrs.live <- t.ctrs.live - 1;
-      t.processed <- t.processed + 1;
-      ev.fire ()
-    end;
-    true
+(* Periodic re-arm, after the callback returns (so events the callback
+   scheduled take earlier seqs, exactly as the closure-based re-arm
+   did). Unconditional on liveness: a handle cancelled from inside its
+   own callback still consumes a sequence number here, keeping seq
+   assignment identical across backends. *)
+let rearm t h =
+  if h.period >= 0 then begin
+    h.next_at <- Time.add h.next_at h.period;
+    push t ~at:h.next_at h
+  end
+
+(* Cancel unlinks wheel cells eagerly, so a popped cell is always
+   live. Recycle before firing: a re-arm inside [h.fire] then reuses
+   this very cell. *)
+let fire_cell t w (c : handle Twheel.cell) =
+  let h = c.Twheel.c_payload in
+  let at = c.Twheel.c_at in
+  h.cell <- nil_cell;
+  h.queued <- h.queued - 1;
+  Twheel.recycle w c;
+  t.clock <- at;
+  t.ectrs.live <- t.ectrs.live - 1;
+  t.processed <- t.processed + 1;
+  Obs.Counter.incr t.c_fired;
+  h.fire t;
+  rearm t h
+
+(* Fire the next live event at or before [horizon]. Dead pheap events
+   encountered on the way are dropped silently, without advancing the
+   clock — observable behavior (clock, counters, firing order) is
+   identical across backends; only physical queue occupancy differs. *)
+let step_until t ~horizon =
+  match t.q with
+  | Qw w ->
+    let c = Twheel.pop_at_most w ~horizon in
+    if c == nil_cell then false
+    else begin
+      fire_cell t w c;
+      true
+    end
+  | Qp p ->
+    let rec pop () =
+      match p.pq_find_min () with
+      | None -> false
+      | Some (at, h) ->
+        if Time.compare at horizon > 0 then false
+        else begin
+          p.pq_delete_min ~live:t.ectrs.live;
+          h.queued <- h.queued - 1;
+          if h.alive then begin
+            t.clock <- at;
+            t.ectrs.live <- t.ectrs.live - 1;
+            t.processed <- t.processed + 1;
+            Obs.Counter.incr t.c_fired;
+            h.fire t;
+            rearm t h;
+            true
+          end
+          else pop ()
+        end
+    in
+    pop ()
+
+let step t = step_until t ~horizon:Time.infinity
 
 let run ?(until = Time.infinity) t =
   if Obs.enabled t.obs then
     Obs.emit t.obs ~at:t.clock Obs.Sim (Obs.Run_started { until });
-  let rec loop () =
-    match Eq.find_min t.queue with
-    | None -> ()
-    | Some ev ->
-      if Time.compare ev.at until > 0 then ()
-      else if step t then loop ()
-  in
+  let rec loop () = if step_until t ~horizon:until then loop () in
   loop ();
   if Obs.enabled t.obs then
     Obs.emit t.obs ~at:t.clock Obs.Sim
       (Obs.Run_finished { events = t.processed })
 
 let events_processed t = t.processed
-let pending t = t.ctrs.live
+let pending t = t.ectrs.live
+
+let pending_cells t =
+  match t.q with Qw w -> Twheel.length w | Qp p -> p.pq_len ()

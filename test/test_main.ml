@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
       ("sim", Test_sim.suite);
+      ("wheel", Test_wheel.suite);
       ("crypto", Test_crypto.suite);
       ("net", Test_net.suite);
       ("workload", Test_workload.suite);

@@ -146,8 +146,21 @@ let test_periodic_cancel_drops_pending () =
    handle keeps exactly one armed firing queued, cancellation voids it
    immediately, and the dead-event compaction the storm triggers must
    not perturb the count. *)
-let test_pending_exact_under_cancel_storm () =
+let test_backend_selection () =
   let e = Engine.create () in
+  check_bool "wheel is the default backend" true
+    (Engine.backend_of e = Engine.Wheel);
+  let p = Engine.create ~backend:Engine.Pheap () in
+  check_bool "explicit pheap backend" true (Engine.backend_of p = Engine.Pheap);
+  check_bool "backend names round-trip" true
+    (Engine.backend_of_string (Engine.backend_name Engine.Wheel)
+     = Some Engine.Wheel
+    && Engine.backend_of_string (Engine.backend_name Engine.Pheap)
+       = Some Engine.Pheap
+    && Engine.backend_of_string "nope" = None)
+
+let test_pending_exact_under_cancel_storm_on backend () =
+  let e = Engine.create ~backend () in
   let n = 512 in
   let hs =
     Array.init n (fun i ->
@@ -204,6 +217,12 @@ let suite =
     ("obs records run start/finish", `Quick, test_obs_run_events);
     ("obs disabled by default", `Quick, test_obs_default_disabled);
     ("periodic cancel drops armed firing", `Quick, test_periodic_cancel_drops_pending);
-    ("pending exact under cancel storm", `Quick, test_pending_exact_under_cancel_storm);
+    ("backend selection and naming", `Quick, test_backend_selection);
+    ( "pending exact under cancel storm (wheel)",
+      `Quick,
+      test_pending_exact_under_cancel_storm_on Engine.Wheel );
+    ( "pending exact under cancel storm (pheap)",
+      `Quick,
+      test_pending_exact_under_cancel_storm_on Engine.Pheap );
     QCheck_alcotest.to_alcotest prop_events_fire_in_order;
   ]

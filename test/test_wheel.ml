@@ -1,0 +1,428 @@
+(* Differential harness for the two engine backends.
+
+   The timing wheel (Btr_util.Twheel, the production queue) and the
+   pairing heap (the independently-simple oracle) must be observably
+   indistinguishable: identical (time, callback) firing sequences,
+   identical clock trajectory, identical pending counts and identical
+   sim.engine.* obs counters for any sequence of engine operations.
+   A random op-script interpreter drives both backends over the same
+   script and compares full traces; targeted scripts cover the
+   adversarial corners (same-µs bursts, cancel of an already-fired
+   handle, far-future events beyond the wheels' 2^39 µs span, cursor
+   rewind after a horizon-bounded run, a periodic cancelling itself
+   from its own callback), and wheel-only tests pin the allocation
+   diet and the structural fix for the cancelled-fraction anomaly. *)
+
+open Btr_util
+module Engine = Btr_sim.Engine
+module Obs = Btr_obs.Obs
+module Campaign = Btr_campaign.Campaign
+module Scenario = Btr.Scenario
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 The op language} *)
+
+type op =
+  | Schedule of int  (* one-shot at now + offset *)
+  | Burst of int * int  (* k one-shots at the same now + offset *)
+  | Far of int  (* one-shot at now + 2^40 + offset: overflow level *)
+  | Periodic of int * int  (* period, start = now + offset *)
+  | Cancel of int  (* cancel the (i mod created)-th handle *)
+  | Drain of int  (* run ~until:(now + d) *)
+  | Step
+  | Drain_all  (* run ~until:(now + 50ms): drains every one-shot *)
+
+let op_to_string = function
+  | Schedule o -> Printf.sprintf "Schedule %d" o
+  | Burst (k, o) -> Printf.sprintf "Burst (%d, %d)" k o
+  | Far o -> Printf.sprintf "Far %d" o
+  | Periodic (p, s) -> Printf.sprintf "Periodic (%d, %d)" p s
+  | Cancel i -> Printf.sprintf "Cancel %d" i
+  | Drain d -> Printf.sprintf "Drain %d" d
+  | Step -> "Step"
+  | Drain_all -> "Drain_all"
+
+(* What the interpreter records: every callback firing (identity and
+   clock), and after each op a snapshot of the observable engine state.
+   Two backends are equivalent iff their full traces are equal. *)
+type ev =
+  | Fired of int * int  (* callback id, clock at firing *)
+  | Snap of int * int * int  (* pending, clock, events_processed *)
+
+let run_script backend ops =
+  let e = Engine.create ~backend () in
+  let trace = ref [] in
+  let hs = ref [] in
+  let nhs = ref 0 in
+  let fresh = ref 0 in
+  let note h =
+    hs := h :: !hs;
+    incr nhs
+  in
+  let cb id eng = trace := Fired (id, Engine.now eng) :: !trace in
+  let next_id () =
+    let id = !fresh in
+    incr fresh;
+    id
+  in
+  let apply = function
+    | Schedule off ->
+      let at = Time.add (Engine.now e) off in
+      note (Engine.schedule e ~at (cb (next_id ())))
+    | Burst (k, off) ->
+      let at = Time.add (Engine.now e) off in
+      for _ = 1 to k do
+        note (Engine.schedule e ~at (cb (next_id ())))
+      done
+    | Far off ->
+      let at = Time.add (Engine.now e) ((1 lsl 40) + off) in
+      note (Engine.schedule e ~at (cb (next_id ())))
+    | Periodic (period, s) ->
+      let start = Time.add (Engine.now e) s in
+      note (Engine.every e ~period ~start (cb (next_id ())))
+    | Cancel i -> if !nhs > 0 then Engine.cancel (List.nth !hs (i mod !nhs))
+    | Drain d -> Engine.run ~until:(Time.add (Engine.now e) d) e
+    | Step -> ignore (Engine.step e : bool)
+    | Drain_all -> Engine.run ~until:(Time.add (Engine.now e) (Time.ms 50)) e
+  in
+  List.iter
+    (fun op ->
+      apply op;
+      trace :=
+        Snap (Engine.pending e, Engine.now e, Engine.events_processed e)
+        :: !trace)
+    ops;
+  let counters =
+    Obs.Registry.counters (Obs.registry (Engine.obs e))
+    |> List.filter (fun (name, _) ->
+           (* pool/cell counters are wheel-implementation detail; the
+              logical counters must match across backends *)
+           name = "sim.engine.scheduled"
+           || name = "sim.engine.fired"
+           || name = "sim.engine.cancelled")
+  in
+  (List.rev !trace, counters)
+
+let diff_check name ops =
+  let wheel = run_script Engine.Wheel ops in
+  let pheap = run_script Engine.Pheap ops in
+  check_bool (name ^ ": wheel trace = pheap trace") true (wheel = pheap)
+
+(* {1 Random differential property} *)
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun o -> Schedule o) (int_bound 5_000));
+        (2, map2 (fun k o -> Burst (2 + k, o)) (int_bound 6) (int_bound 1_000));
+        (1, map (fun o -> Far o) (int_bound 1_000));
+        ( 2,
+          map2
+            (fun p s -> Periodic (100 + p, s))
+            (int_bound 2_000) (int_bound 1_000) );
+        (3, map (fun i -> Cancel i) (int_bound 64));
+        (3, map (fun d -> Drain d) (int_bound 10_000));
+        (1, return Step);
+        (1, return Drain_all);
+      ])
+
+let arb_script =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_to_string ops))
+    QCheck.Gen.(list_size (int_bound 40) gen_op)
+
+let prop_backends_equivalent =
+  QCheck.Test.make
+    ~name:"random op scripts: wheel and pheap traces identical" ~count:250
+    arb_script
+    (fun ops -> run_script Engine.Wheel ops = run_script Engine.Pheap ops)
+
+(* {1 Adversarial scripts} *)
+
+let test_same_us_bursts () =
+  diff_check "interleaved same-µs bursts"
+    [
+      Burst (64, 100);
+      Burst (64, 100);
+      Schedule 100;
+      Drain 1_000;
+      Burst (32, 0);
+      Drain_all;
+    ]
+
+let test_cancel_after_fired () =
+  diff_check "cancelling an already-fired handle is inert"
+    [
+      Schedule 10;
+      Drain 100;
+      Cancel 0;
+      Cancel 0;
+      Schedule 5;
+      Drain 100;
+      Cancel 1;
+      Drain_all;
+    ]
+
+let test_far_future_events () =
+  (* Beyond the top wheel horizon (2^39 µs): park in overflow, pull
+     back in via the rescan, fire in seq order. *)
+  diff_check "far-future events cross the overflow level"
+    [
+      Far 5;
+      Far 5;
+      Schedule 7;
+      Drain ((1 lsl 40) + 1_000_000);
+      Schedule 3;
+      Drain_all;
+    ]
+
+let test_rewind_after_horizon () =
+  (* run ~until leaves the wheel cursor at the horizon; a later
+     schedule lands behind it and must rewind, not be lost. *)
+  diff_check "schedule behind the cursor after a bounded run"
+    [
+      Schedule 5_000;
+      Drain 10_000;
+      Schedule 100;
+      Schedule 50;
+      Drain 10_000;
+      Burst (8, 1);
+      Drain_all;
+    ]
+
+let test_cancel_storm_differential () =
+  diff_check "mass cancellation"
+    [
+      Burst (7, 500);
+      Periodic (250, 100);
+      Burst (7, 500);
+      Cancel 3;
+      Cancel 5;
+      Cancel 8;
+      Cancel 13;
+      Drain 2_000;
+      Cancel 0;
+      Cancel 1;
+      Drain_all;
+    ]
+
+let test_schedule_at_infinity () =
+  let run backend =
+    let e = Engine.create ~backend () in
+    let fired = ref [] in
+    ignore
+      (Engine.schedule e ~at:Time.infinity (fun e ->
+           fired := Engine.now e :: !fired));
+    ignore
+      (Engine.schedule e ~at:(Time.ms 1) (fun e ->
+           fired := Engine.now e :: !fired));
+    Engine.run e;
+    (List.rev !fired, Engine.now e, Engine.pending e)
+  in
+  let w = run Engine.Wheel and p = run Engine.Pheap in
+  check_bool "infinity-scheduled events drain identically" true (w = p);
+  let times, clock, pending = w in
+  check_bool "fires at infinity" true (times = [ Time.ms 1; Time.infinity ]);
+  check_int "clock at infinity" Time.infinity clock;
+  check_int "nothing pending" 0 pending
+
+let test_periodic_cancels_itself () =
+  (* Cancellation from inside the handle's own callback: the re-arm
+     pushes on a dead handle — the wheel links nothing (but burns the
+     seq), the heap enqueues a dead event it later skips silently. *)
+  let run backend =
+    let e = Engine.create ~backend () in
+    let n = ref 0 in
+    let h = ref None in
+    h :=
+      Some
+        (Engine.every e ~period:(Time.ms 1) (fun _ ->
+             incr n;
+             if !n = 3 then Engine.cancel (Option.get !h)));
+    Engine.run ~until:(Time.ms 10) e;
+    (!n, Engine.pending e, Engine.now e, Engine.events_processed e)
+  in
+  let w = run Engine.Wheel and p = run Engine.Pheap in
+  check_bool "self-cancel identical across backends" true (w = p);
+  let n, pending, clock, processed = w in
+  check_int "fires exactly thrice" 3 n;
+  check_int "nothing pending after self-cancel" 0 pending;
+  check_int "clock at last firing" (Time.ms 3) clock;
+  check_int "three events processed" 3 processed
+
+let test_million_event_drain () =
+  (* Stack safety and exactness at depth: schedule 1M one-shots over a
+     ~1s spread, drain completely. Every loop in the wheel (seek hops,
+     cascades, rescans, slot walks) must be iterative. *)
+  let n = 1_000_000 in
+  let e = Engine.create ~backend:Engine.Wheel () in
+  let fired = ref 0 in
+  let last = ref (-1) in
+  let mono = ref true in
+  for i = 1 to n do
+    ignore
+      (Engine.schedule e
+         ~at:(i * 7919 mod 1_000_003)
+         (fun e ->
+           incr fired;
+           if Engine.now e < !last then mono := false;
+           last := Engine.now e))
+  done;
+  check_int "1M pending" n (Engine.pending e);
+  Engine.run e;
+  check_int "all fired" n !fired;
+  check_int "all processed" n (Engine.events_processed e);
+  check_bool "nondecreasing firing times" true !mono;
+  check_int "queue empty" 0 (Engine.pending_cells e)
+
+let test_deep_differential_drain () =
+  (* Same shape differentially, at a depth the heap oracle can afford. *)
+  let n = 50_000 in
+  let run backend =
+    let e = Engine.create ~backend () in
+    let acc = ref 0 in
+    for i = 1 to n do
+      ignore
+        (Engine.schedule e
+           ~at:(i * 7919 mod 100_003)
+           (fun e -> acc := (!acc * 31) + Engine.now e))
+    done;
+    Engine.run e;
+    (!acc, Engine.events_processed e, Engine.now e)
+  in
+  check_bool "50k-event drain identical" true
+    (run Engine.Wheel = run Engine.Pheap)
+
+(* {1 Allocation diet and the cancelled-fraction fix} *)
+
+let engine_counter e name =
+  match
+    List.assoc_opt ("sim.engine." ^ name)
+      (Obs.Registry.counters (Obs.registry (Engine.obs e)))
+  with
+  | Some v -> v
+  | None -> 0
+
+let test_periodic_steady_state_allocates_nothing () =
+  let e = Engine.create ~backend:Engine.Wheel () in
+  ignore (Engine.every e ~period:(Time.ms 1) (fun _ -> ()));
+  Engine.run ~until:(Time.ms 1_000) e;
+  check_int "1000 firings" 1_000 (Engine.events_processed e);
+  check_int "one cell ever allocated" 1 (engine_counter e "cells");
+  check_int "every re-arm reused the recycled cell" 1_000
+    (engine_counter e "pool-reuse");
+  check_int "pushes reconcile with cells + reuse"
+    (engine_counter e "scheduled")
+    (engine_counter e "cells" + engine_counter e "pool-reuse")
+
+(* The PR-5 engine walked cancelled events through the heap until
+   compaction; at 90% cancelled the bench showed per-live-event cost
+   *rising* with depth. The wheel unlinks on cancel, so the physical
+   queue holds exactly the live events at all times — drain cost scales
+   with live events only, by construction. *)
+let test_cancelled_fraction_leaves_no_residue () =
+  let n = 10_000 in
+  let e = Engine.create ~backend:Engine.Wheel () in
+  let hs =
+    Array.init n (fun i ->
+        Engine.schedule e ~at:(i + 1) (fun _ -> ()))
+  in
+  check_int "all physically queued" n (Engine.pending_cells e);
+  for i = 0 to n - 1 do
+    if i mod 10 <> 0 then Engine.cancel hs.(i)
+  done;
+  check_int "live count drops" (n / 10) (Engine.pending e);
+  check_int "cancelled cells leave the queue immediately" (n / 10)
+    (Engine.pending_cells e);
+  check_int "voided firings counted" (n - (n / 10))
+    (engine_counter e "cancelled");
+  Engine.run e;
+  check_int "only live events fired" (n / 10) (Engine.events_processed e);
+  check_int "drained" 0 (Engine.pending_cells e);
+  (* the pool now feeds later load: no fresh allocation *)
+  let cells_before = engine_counter e "cells" in
+  for i = 1 to 100 do
+    ignore (Engine.schedule e ~at:(Time.add (Engine.now e) i) (fun _ -> ()))
+  done;
+  check_int "post-storm load allocates nothing" cells_before
+    (engine_counter e "cells")
+
+(* {1 End-to-end invariance} *)
+
+let with_backend b f =
+  let prev = Engine.default_backend () in
+  Engine.set_default_backend b;
+  Fun.protect ~finally:(fun () -> Engine.set_default_backend prev) f
+
+(* One campaign spec, 25 trials, both backends: artifacts byte-identical
+   and FNV fingerprints equal — verdicts are backend-independent. *)
+let test_campaign_backend_invariance () =
+  let spec = Campaign.spec ~trials:25 ~seed:7 () in
+  let artifact backend =
+    with_backend backend (fun () ->
+        let r = Campaign.run ~jobs:1 spec in
+        (Campaign.result_json_lines r, Campaign.fingerprint r))
+  in
+  let lines_w, fp_w = artifact Engine.Wheel in
+  let lines_p, fp_p = artifact Engine.Pheap in
+  check_bool "campaign artifact byte-identical across backends" true
+    (lines_w = lines_p);
+  Alcotest.(check string) "FNV fingerprints equal" fp_w fp_p
+
+(* A full-stack scenario (detection, evidence flooding, a mode switch)
+   under both backends: the sim.engine.* counters must reconcile
+   exactly — same scheduled/fired/cancelled, and on the wheel every
+   push is accounted to either a fresh cell or a pooled one. *)
+let test_scenario_engine_counters_reconcile () =
+  let counters backend =
+    with_backend backend (fun () ->
+        let obs = Obs.create () in
+        match Scenario.run (Scenario.avionics_demo ~obs ()) with
+        | Error _ -> Alcotest.fail "avionics demo must deploy"
+        | Ok rt ->
+          let e = Btr.Runtime.engine rt in
+          ( engine_counter e "scheduled",
+            engine_counter e "fired",
+            engine_counter e "cancelled",
+            Engine.pending e,
+            engine_counter e "cells",
+            engine_counter e "pool-reuse" ))
+  in
+  let sw, fw, cw, pw, cells, reuse = counters Engine.Wheel in
+  let sp, fp, cp, pp, _, _ = counters Engine.Pheap in
+  check_int "scheduled equal" sp sw;
+  check_int "fired equal" fp fw;
+  check_int "cancelled equal" cp cw;
+  check_int "pending equal" pp pw;
+  check_int "scheduled = fired + cancelled + pending" sw (fw + cw + pw);
+  check_int "every wheel push is a fresh or pooled cell" sw (cells + reuse);
+  check_bool "steady-state periodic load reuses cells" true (reuse > cells)
+
+let suite =
+  [
+    ("same-µs bursts", `Quick, test_same_us_bursts);
+    ("cancel of fired handle", `Quick, test_cancel_after_fired);
+    ("far-future via overflow level", `Quick, test_far_future_events);
+    ("rewind after bounded run", `Quick, test_rewind_after_horizon);
+    ("mass cancellation", `Quick, test_cancel_storm_differential);
+    ("events at Time.infinity", `Quick, test_schedule_at_infinity);
+    ("periodic cancels itself", `Quick, test_periodic_cancels_itself);
+    ("1M-event drain is exact and stack-safe", `Quick, test_million_event_drain);
+    ("50k-event drain differential", `Quick, test_deep_differential_drain);
+    ( "steady-state periodic allocates nothing",
+      `Quick,
+      test_periodic_steady_state_allocates_nothing );
+    ( "cancelled events leave no residue",
+      `Quick,
+      test_cancelled_fraction_leaves_no_residue );
+    ( "campaign artifact invariant under backend",
+      `Quick,
+      test_campaign_backend_invariance );
+    ( "scenario engine counters reconcile",
+      `Quick,
+      test_scenario_engine_counters_reconcile );
+    QCheck_alcotest.to_alcotest prop_backends_equivalent;
+  ]
